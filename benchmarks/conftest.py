@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module reproduces one figure or table of the paper.  The
+pytest-benchmark timings measure the simulation run itself; the paper-
+shaped outputs are printed and saved under ``benchmarks/results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The simulated metrics are deterministic, so repeated rounds add
+    nothing but wall time.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

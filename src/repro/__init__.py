@@ -1,0 +1,53 @@
+"""PolarStore reproduction: dual-layer compression for cloud-native RDBMSs.
+
+Subpackages
+-----------
+``repro.common``
+    Units, simulated clock, latency statistics, errors.
+``repro.compression``
+    LZ4 and zstd-like codecs, hardware-gzip model, Algorithm-1 selector.
+``repro.csd``
+    PolarCSD simulator (FTL, NAND, GC, TRIM) plus conventional SSD models.
+``repro.storage``
+    The PolarStore storage node: allocator, index, WAL, replication, the
+    three compression write modes, and the DB-oriented optimizations.
+``repro.db``
+    A miniature cloud-native database engine (pages, B+tree, buffer pool,
+    redo, RW/RO nodes) used to drive realistic I/O.
+``repro.baselines``
+    InnoDB-style and MyRocks-style compression baselines.
+``repro.cluster``
+    Cluster space management and compression-aware scheduling.
+``repro.workloads``
+    Dataset generators and a sysbench-like OLTP driver.
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports of the primary entry points.  Subpackages are
+# imported lazily via __getattr__ so that `import repro` stays light.
+_PUBLIC = {
+    "PolarStore": ("repro.storage.store", "PolarStore"),
+    "NodeConfig": ("repro.storage.node", "NodeConfig"),
+    "StorageNode": ("repro.storage.node", "StorageNode"),
+    "CompressionMode": ("repro.storage.store", "CompressionMode"),
+    "PolarDB": ("repro.db.database", "PolarDB"),
+    "PolarCSD": ("repro.csd.device", "PolarCSD"),
+    "PlainSSD": ("repro.csd.device", "PlainSSD"),
+    "AlgorithmSelector": ("repro.compression.selector", "AlgorithmSelector"),
+    "run_sysbench": ("repro.workloads.sysbench", "run_sysbench"),
+    "dataset_pages": ("repro.workloads.datagen", "dataset_pages"),
+}
+
+
+def __getattr__(name):
+    if name in _PUBLIC:
+        import importlib
+
+        module_name, attr = _PUBLIC[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_PUBLIC))

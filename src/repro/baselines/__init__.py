@@ -1,0 +1,24 @@
+"""Baseline compression approaches the paper compares against (§2.2, §5.3).
+
+* :mod:`repro.baselines.lsm` — an LSM-tree substrate (memtable, SSTables,
+  leveled compaction with compression during compaction).
+* :mod:`repro.baselines.myrocks` — a MyRocks-style engine over the LSM
+  substrate, with compaction CPU billed to the compute node.
+* :mod:`repro.baselines.innodb` — InnoDB-style table/page compression on a
+  B+tree with 4 KB file-block alignment and compute-side codec work.
+* :mod:`repro.baselines.logstructured` — a log-structured block store with
+  compression at segment compaction and page-spanning read amplification.
+"""
+
+from repro.baselines.innodb import InnoDBEngine, InnoDBStore
+from repro.baselines.lsm import LSMTree
+from repro.baselines.logstructured import LogStructuredStore
+from repro.baselines.myrocks import MyRocksEngine
+
+__all__ = [
+    "LSMTree",
+    "MyRocksEngine",
+    "InnoDBEngine",
+    "InnoDBStore",
+    "LogStructuredStore",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import ExperimentResult, print_table, save_result
+
+__all__ = ["ExperimentResult", "print_table", "save_result"]

@@ -1,0 +1,95 @@
+"""Experiment output helpers.
+
+Every benchmark prints its figure/table in the paper's shape and also
+persists it under ``benchmarks/results/`` so runs can be diffed and
+EXPERIMENTS.md can quote them.  pytest-benchmark wall-clock numbers are
+incidental (the simulator's clock is what matters); the interesting
+payload goes into ``extra_info`` and these text artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..",
+                           "benchmarks", "results")
+
+
+@dataclass
+class ExperimentResult:
+    """One figure/table worth of rows."""
+
+    experiment: str
+    description: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment}: row has {len(values)} values, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+            "notes": self.notes,
+        }
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    cells = [[_format_cell(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells)) if cells else len(str(col))
+        for i, col in enumerate(result.columns)
+    ]
+    lines = [
+        f"== {result.experiment}: {result.description} ==",
+        "  ".join(str(c).ljust(w) for c, w in zip(result.columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(result: ExperimentResult) -> None:
+    print("\n" + render_table(result) + "\n", flush=True)
+
+
+def save_result(result: ExperimentResult, directory: Optional[str] = None) -> str:
+    """Persist the table as text + JSON; returns the text path."""
+    directory = os.path.abspath(directory or RESULTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, result.experiment)
+    with open(base + ".txt", "w") as handle:
+        handle.write(render_table(result) + "\n")
+    with open(base + ".json", "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+    return base + ".txt"

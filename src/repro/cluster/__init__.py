@@ -1,0 +1,33 @@
+"""Cluster-level space management (§4.2).
+
+Models a fleet of storage servers holding chunks with heterogeneous
+compression ratios, the logical-usage-only scheduler the paper started
+with, and the compression-aware zone scheduler (Figure 9b) that fixed the
+logical/physical imbalance of Figures 10–11.  Also carries the Table 2
+cost model.
+"""
+
+from repro.cluster.chunk import Chunk, StorageServer
+from repro.cluster.cluster import Cluster, synthesize_cluster
+from repro.cluster.costs import CostModel, DEVICE_COSTS, cost_per_logical_gb
+from repro.cluster.migration import MigrationExecutor, MigrationPlanReport
+from repro.cluster.scheduler import (
+    CompressionAwareScheduler,
+    LogicalOnlyScheduler,
+    MigrationTask,
+)
+
+__all__ = [
+    "Chunk",
+    "StorageServer",
+    "Cluster",
+    "synthesize_cluster",
+    "LogicalOnlyScheduler",
+    "CompressionAwareScheduler",
+    "MigrationTask",
+    "MigrationExecutor",
+    "MigrationPlanReport",
+    "CostModel",
+    "DEVICE_COSTS",
+    "cost_per_logical_gb",
+]

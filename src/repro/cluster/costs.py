@@ -1,0 +1,50 @@
+"""The Table 2 cost model.
+
+Per-GB *physical* hardware costs are normalized to Intel P4510 = 1.00;
+the effective per-GB *logical* cost divides by the achieved compression
+ratio.  The paper's numbers fall straight out:
+
+* C1: 1.45 / 2.35 = 0.62
+* C2: 1.32 / 3.55 = 0.37  (≈60% below the N2 baseline of 0.91)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative hardware cost of one device class."""
+
+    device: str
+    cost_per_physical_gb: float
+
+    def logical_cost(self, compression_ratio: float) -> float:
+        if compression_ratio <= 0:
+            raise ValueError("compression ratio must be positive")
+        return self.cost_per_physical_gb / compression_ratio
+
+
+#: Table 2, "Cost/GB(Physical)" row.
+DEVICE_COSTS: Dict[str, CostModel] = {
+    "P4510": CostModel("P4510", 1.00),
+    "PolarCSD1.0": CostModel("PolarCSD1.0", 1.45),
+    "P5510": CostModel("P5510", 0.91),
+    "PolarCSD2.0": CostModel("PolarCSD2.0", 1.32),
+}
+
+
+def cost_per_logical_gb(device: str, compression_ratio: float = 1.0) -> float:
+    return DEVICE_COSTS[device].logical_cost(compression_ratio)
+
+
+def storage_cost_reduction(
+    baseline_device: str, device: str, compression_ratio: float
+) -> float:
+    """Fractional saving of ``device``+compression vs an uncompressed
+    baseline (Table 2's ≈60% for C2 vs N2)."""
+    baseline = cost_per_logical_gb(baseline_device, 1.0)
+    ours = cost_per_logical_gb(device, compression_ratio)
+    return 1.0 - ours / baseline

@@ -1,0 +1,178 @@
+"""A live cluster: zone scheduling over *real* storage nodes.
+
+The abstract :mod:`repro.cluster` machinery schedules (size, ratio) pairs;
+this module closes the loop by backing every server with an actual
+:class:`~repro.storage.node.StorageNode` so a migration physically reads
+pages off the source device, writes them to the target device through the
+full dual-layer write path, and TRIMs the source — with byte-exact
+integrity checkable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SchedulingError
+from repro.common.units import DB_PAGE_SIZE, MiB
+from repro.cluster.chunk import Chunk
+from repro.cluster.cluster import Cluster
+from repro.cluster.chunk import StorageServer
+from repro.cluster.scheduler import CompressionAwareScheduler, MigrationTask
+from repro.storage.node import NodeConfig, StorageNode
+from repro.storage.store import build_node
+
+
+@dataclass
+class LiveChunk:
+    """A chunk is a set of pages living on exactly one server."""
+
+    chunk_id: int
+    page_nos: Tuple[int, ...]
+
+
+class LiveServer:
+    """One storage server backed by a real node."""
+
+    def __init__(self, server_id: int, node: StorageNode,
+                 logical_capacity: int, physical_capacity: int) -> None:
+        self.server_id = server_id
+        self.node = node
+        self.logical_capacity = logical_capacity
+        self.physical_capacity = physical_capacity
+        self.chunks: Dict[int, LiveChunk] = {}
+
+    def chunk_physical_bytes(self, chunk: LiveChunk) -> int:
+        return sum(self.node.page_stored_bytes(p) for p in chunk.page_nos)
+
+    def chunk_ratio(self, chunk: LiveChunk) -> float:
+        physical = self.chunk_physical_bytes(chunk)
+        if physical == 0:
+            return 1.0
+        return len(chunk.page_nos) * DB_PAGE_SIZE / physical
+
+
+class LiveCluster:
+    """Servers with real nodes, plus placement and physical migration."""
+
+    def __init__(
+        self,
+        n_servers: int = 4,
+        volume_bytes: int = 64 * MiB,
+        config: Optional[NodeConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        config = config if config is not None else NodeConfig(
+            opt_algorithm_selection=False
+        )
+        self.servers: List[LiveServer] = [
+            LiveServer(
+                i,
+                build_node(f"live-{i}", config, volume_bytes=volume_bytes,
+                           seed=seed + i),
+                logical_capacity=volume_bytes,
+                physical_capacity=volume_bytes // 2,
+            )
+            for i in range(n_servers)
+        ]
+        self._next_chunk_id = 0
+        self._next_page_base = 0
+        self.now_us = 0.0
+
+    # -- ingest -----------------------------------------------------------
+
+    def ingest_chunk(self, pages: List[bytes],
+                     server: Optional[LiveServer] = None) -> LiveChunk:
+        """Write a new chunk's pages to the least-loaded server."""
+        if server is None:
+            server = min(
+                self.servers, key=lambda s: s.node.logical_used_bytes
+            )
+        page_nos = []
+        for image in pages:
+            page_no = self._next_page_base
+            self._next_page_base += 1
+            self.now_us = server.node.write_page(
+                self.now_us, page_no, image
+            ).done_us
+            page_nos.append(page_no)
+        chunk = LiveChunk(self._next_chunk_id, tuple(page_nos))
+        self._next_chunk_id += 1
+        server.chunks[chunk.chunk_id] = chunk
+        return chunk
+
+    # -- migration ----------------------------------------------------------
+
+    def migrate(self, chunk_id: int, target: LiveServer) -> None:
+        """Physically move a chunk: read from source, write to target,
+        free the source copies."""
+        source = self._owner(chunk_id)
+        if source is target:
+            raise SchedulingError(f"chunk {chunk_id} already on target")
+        chunk = source.chunks[chunk_id]
+        for page_no in chunk.page_nos:
+            result = source.node.read_page(self.now_us, page_no)
+            self.now_us = result.done_us
+            self.now_us = target.node.write_page(
+                self.now_us, page_no, result.data
+            ).done_us
+            entry = source.node.index.remove(page_no)
+            source.node.wal.append_index_remove(page_no)
+            source.node._release_entry(entry)
+            source.node.page_cache.remove(page_no)
+        target.chunks[chunk_id] = source.chunks.pop(chunk_id)
+
+    def _owner(self, chunk_id: int) -> LiveServer:
+        for server in self.servers:
+            if chunk_id in server.chunks:
+                return server
+        raise SchedulingError(f"chunk {chunk_id} not found")
+
+    def read_page(self, page_no: int) -> bytes:
+        for server in self.servers:
+            if server.node.index.get(page_no) is not None:
+                result = server.node.read_page(self.now_us, page_no)
+                self.now_us = result.done_us
+                return result.data
+        raise SchedulingError(f"page {page_no} not found in cluster")
+
+    # -- scheduling bridge ------------------------------------------------------
+
+    def snapshot(self) -> Tuple[Cluster, Dict[int, int]]:
+        """An abstract :class:`Cluster` view (measured sizes and ratios)
+        plus a chunk->server map for applying the plan."""
+        abstract = Cluster(servers=[])
+        owner: Dict[int, int] = {}
+        for server in self.servers:
+            mirror = StorageServer(
+                server.server_id,
+                logical_capacity=server.logical_capacity,
+                physical_capacity=server.physical_capacity,
+            )
+            for chunk in server.chunks.values():
+                mirror.add_chunk(
+                    Chunk(
+                        chunk.chunk_id,
+                        len(chunk.page_nos) * DB_PAGE_SIZE,
+                        max(1.0, server.chunk_ratio(chunk)),
+                    )
+                )
+                owner[chunk.chunk_id] = server.server_id
+            abstract.servers.append(mirror)
+        return abstract, owner
+
+    def rebalance(
+        self, scheduler: Optional[CompressionAwareScheduler] = None
+    ) -> List[MigrationTask]:
+        """Plan on the snapshot, then execute the plan with real moves."""
+        scheduler = scheduler or CompressionAwareScheduler(band_width=0.10)
+        abstract, _ = self.snapshot()
+        tasks = scheduler.rebalance(abstract)
+        for task in tasks:
+            self.migrate(task.chunk_id, self.servers[task.target_id])
+        return tasks
+
+    # -- metrics ----------------------------------------------------------------
+
+    def server_ratios(self) -> List[float]:
+        return [s.node.compression_ratio() for s in self.servers]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the PolarStore reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AllocationError(ReproError):
+    """Space-allocator invariant violated (double free, bad range, ...)."""
+
+
+class OutOfSpaceError(AllocationError):
+    """A device, chunk, or allocator has no free space left."""
+
+
+class DeviceError(ReproError):
+    """A simulated storage device failed an operation."""
+
+
+class ChecksumError(ReproError):
+    """Stored data failed checksum verification."""
+
+
+class CorruptionError(ReproError):
+    """A codec or index detected malformed input."""
+
+
+class WALError(ReproError):
+    """Write-ahead log append/replay failure."""
+
+
+class RaftError(ReproError):
+    """Replication-layer failure (no quorum, stale term, ...)."""
+
+
+class SchedulingError(ReproError):
+    """Cluster scheduler could not satisfy a placement request."""

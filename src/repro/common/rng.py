@@ -1,0 +1,24 @@
+"""Deterministic RNG helpers.
+
+Every stochastic component takes an explicit seed; these helpers derive
+stable per-component seeds so that adding a component never perturbs the
+random streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(root_seed: int, *labels: object) -> int:
+    """Derive a 63-bit seed from a root seed and a label path."""
+    digest = hashlib.blake2b(
+        repr((root_seed,) + labels).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+def make_rng(root_seed: int, *labels: object) -> random.Random:
+    """A ``random.Random`` seeded deterministically from a label path."""
+    return random.Random(derive_seed(root_seed, *labels))

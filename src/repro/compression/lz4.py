@@ -1,0 +1,157 @@
+"""Pure-Python LZ4 block format codec.
+
+Implements the LZ4 block specification (token byte, extended lengths,
+little-endian 16-bit offsets) with a greedy hash-chain matcher.  The format
+rules that matter for interoperability are honoured:
+
+* minimum match length 4;
+* the last 5 bytes of a block are always literals;
+* a match must not start within the last 12 bytes;
+* the final sequence carries literals only.
+
+Crucially for this paper, LZ4 performs **no entropy coding** — its output is
+a byte-aligned splice of literals and copy commands — which is why the
+PolarCSD hardware gzip stage can compress LZ4 output substantially further
+(Figure 5c).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CorruptionError
+from repro.compression.base import Compressor, register_codec
+from repro.compression.lz77 import MIN_MATCH, MatchFinder, Token
+
+#: Format constants from the LZ4 block spec.
+_MFLIMIT = 12  # matches must end this many bytes before the block end
+_LAST_LITERALS = 5
+
+
+class LZ4Codec(Compressor):
+    """LZ4 block compressor/decompressor."""
+
+    name = "lz4"
+
+    def __init__(self, max_chain: int = 16) -> None:
+        self._finder = MatchFinder(window=65535, max_chain=max_chain, lazy=False)
+
+    # -- compression -----------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        if n == 0:
+            return b"\x00"  # single token: zero literals, end of block
+        out = bytearray()
+        tokens = self._legalize(self._finder.tokenize(data), n)
+        for index, tok in enumerate(tokens):
+            is_last = index == len(tokens) - 1
+            self._emit_sequence(out, data, tok, is_last)
+        return bytes(out)
+
+    @staticmethod
+    def _legalize(tokens: "list[Token]", n: int) -> "list[Token]":
+        """Enforce end-of-block rules by demoting late matches to literals."""
+        legal: "list[Token]" = []
+        pending_lit_start = None
+        pending_lit_len = 0
+        for tok in tokens:
+            lit_start, lit_len = tok.lit_start, tok.lit_len
+            if pending_lit_len:
+                # Merge the demoted tail into this token's literal run.
+                lit_start = pending_lit_start
+                lit_len = pending_lit_len + tok.lit_len
+                pending_lit_start, pending_lit_len = None, 0
+            if tok.match_len == 0:
+                legal.append(Token(lit_start, lit_len, 0, 0))
+                continue
+            match_start = lit_start + lit_len
+            # Trim the match so it ends at least _LAST_LITERALS bytes before
+            # the block end; demote it entirely if trimming leaves it below
+            # the minimum length or it starts inside the _MFLIMIT window.
+            allowed = min(tok.match_len, (n - _LAST_LITERALS) - match_start)
+            if match_start > n - _MFLIMIT or allowed < MIN_MATCH:
+                pending_lit_start = lit_start
+                pending_lit_len = lit_len + tok.match_len
+                continue
+            legal.append(Token(lit_start, lit_len, allowed, tok.distance))
+            if allowed < tok.match_len:
+                pending_lit_start = match_start + allowed
+                pending_lit_len = tok.match_len - allowed
+        if pending_lit_len or not legal or legal[-1].match_len != 0:
+            start = pending_lit_start if pending_lit_len else n
+            legal.append(Token(start, pending_lit_len, 0, 0))
+        return legal
+
+    @staticmethod
+    def _emit_sequence(
+        out: bytearray, data: bytes, tok: Token, is_last: bool
+    ) -> None:
+        lit_len = tok.lit_len
+        match_code = 0 if is_last else tok.match_len - MIN_MATCH
+        token_byte = (min(lit_len, 15) << 4) | min(match_code, 15)
+        out.append(token_byte)
+        if lit_len >= 15:
+            remaining = lit_len - 15
+            while remaining >= 255:
+                out.append(255)
+                remaining -= 255
+            out.append(remaining)
+        out += data[tok.lit_start : tok.lit_start + lit_len]
+        if is_last:
+            return
+        out.append(tok.distance & 0xFF)
+        out.append((tok.distance >> 8) & 0xFF)
+        if match_code >= 15:
+            remaining = match_code - 15
+            while remaining >= 255:
+                out.append(255)
+                remaining -= 255
+            out.append(remaining)
+
+    # -- decompression ---------------------------------------------------
+
+    def decompress(self, payload: bytes) -> bytes:
+        out = bytearray()
+        pos = 0
+        n = len(payload)
+        while pos < n:
+            token_byte = payload[pos]
+            pos += 1
+            lit_len = token_byte >> 4
+            if lit_len == 15:
+                lit_len, pos = self._read_extended(payload, pos, lit_len)
+            if pos + lit_len > n:
+                raise CorruptionError("lz4: literal run overflows payload")
+            out += payload[pos : pos + lit_len]
+            pos += lit_len
+            if pos == n:
+                break  # final, literal-only sequence
+            if pos + 2 > n:
+                raise CorruptionError("lz4: truncated match offset")
+            distance = payload[pos] | (payload[pos + 1] << 8)
+            pos += 2
+            if distance == 0:
+                raise CorruptionError("lz4: zero match offset")
+            match_len = token_byte & 0x0F
+            if match_len == 15:
+                match_len, pos = self._read_extended(payload, pos, match_len)
+            match_len += MIN_MATCH
+            start = len(out) - distance
+            if start < 0:
+                raise CorruptionError("lz4: offset before output start")
+            for i in range(match_len):
+                out.append(out[start + i])
+        return bytes(out)
+
+    @staticmethod
+    def _read_extended(payload: bytes, pos: int, value: int) -> "tuple[int, int]":
+        while True:
+            if pos >= len(payload):
+                raise CorruptionError("lz4: truncated extended length")
+            byte = payload[pos]
+            pos += 1
+            value += byte
+            if byte != 255:
+                return value, pos
+
+
+register_codec("lz4", LZ4Codec)

@@ -1,0 +1,175 @@
+"""Hash-chain LZ77 match finder shared by the LZ4 and zstd-like codecs.
+
+The finder emits a token stream: runs of literals interleaved with
+back-references ``(length, distance)``.  Codecs differ in how they serialize
+the tokens (LZ4: raw byte layout, zstd: entropy-coded), and in the finder
+parameters they use (window size, chain depth, lazy matching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+MIN_MATCH = 4
+_HASH_MULT = 2654435761
+_HASH_BITS = 16
+
+
+@dataclass(frozen=True)
+class Token:
+    """One LZ77 step: ``lit_len`` literals starting at ``lit_start`` in the
+    source, followed by a back-reference of ``match_len`` bytes at
+    ``distance`` (``match_len == 0`` marks the trailing literal-only token).
+    """
+
+    lit_start: int
+    lit_len: int
+    match_len: int
+    distance: int
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    value = (
+        data[pos]
+        | (data[pos + 1] << 8)
+        | (data[pos + 2] << 16)
+        | (data[pos + 3] << 24)
+    )
+    return ((value * _HASH_MULT) & 0xFFFFFFFF) >> (32 - _HASH_BITS)
+
+
+class MatchFinder:
+    """Greedy (optionally lazy) hash-chain matcher.
+
+    Parameters
+    ----------
+    window:
+        Maximum back-reference distance.
+    max_chain:
+        How many chain entries to inspect per position; higher finds better
+        matches at more CPU cost (this is the codec "level" knob).
+    lazy:
+        When True, defer emitting a match by one byte if the next position
+        has a strictly longer one (zstd-style; LZ4 is greedy).
+    max_match:
+        Cap on the match length (the LZ4 serializer has no cap; keeping one
+        bounds worst-case encode time).
+    """
+
+    def __init__(
+        self,
+        window: int = 65535,
+        max_chain: int = 16,
+        lazy: bool = False,
+        max_match: int = 1 << 16,
+    ) -> None:
+        if window <= 0 or window > 65535:
+            raise ValueError(f"window must be in [1, 65535], got {window}")
+        self.window = window
+        self.max_chain = max_chain
+        self.lazy = lazy
+        self.max_match = max_match
+
+    def tokenize(self, data: bytes, start: int = 0) -> List[Token]:
+        """Produce the token stream covering ``data[start:]``.
+
+        ``start > 0`` enables dictionary compression: the prefix
+        ``data[:start]`` is indexed into the hash chains (so matches may
+        reference it) but no tokens are emitted for it — the decoder
+        primes its output with the same prefix.
+        """
+        n = len(data)
+        tokens: List[Token] = []
+        if n - start < MIN_MATCH + 1:
+            tokens.append(Token(start, n - start, 0, 0))
+            return tokens
+
+        head = [-1] * (1 << _HASH_BITS)
+        prev = [-1] * n
+
+        lit_start = start
+        pos = start
+        # The last MIN_MATCH bytes can never start a match.
+        limit = n - MIN_MATCH
+
+        def find(at: int) -> "tuple[int, int]":
+            """Best (length, distance) at position ``at`` (0 if none)."""
+            best_len = 0
+            best_dist = 0
+            candidate = head[_hash4(data, at)]
+            chain = self.max_chain
+            min_pos = at - self.window
+            max_len_here = min(self.max_match, n - at)
+            while candidate >= min_pos and candidate >= 0 and chain > 0:
+                chain -= 1
+                # Quick reject: a longer match must agree at best_len.
+                probe = at + best_len
+                if probe < n and data[candidate + best_len] == data[probe]:
+                    length = 0
+                    while (
+                        length < max_len_here
+                        and data[candidate + length] == data[at + length]
+                    ):
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = at - candidate
+                        if length >= max_len_here:
+                            break
+                candidate = prev[candidate]
+            if best_len < MIN_MATCH:
+                return 0, 0
+            return best_len, best_dist
+
+        def insert(at: int) -> None:
+            h = _hash4(data, at)
+            prev[at] = head[h]
+            head[h] = at
+
+        # Index the dictionary prefix so matches can reference it.
+        for p in range(0, min(start, limit + 1)):
+            insert(p)
+
+        while pos <= limit:
+            length, dist = find(pos)
+            if length == 0:
+                insert(pos)
+                pos += 1
+                continue
+            first_uninserted = pos
+            if self.lazy and pos + 1 <= limit:
+                insert(pos)
+                first_uninserted = pos + 1
+                next_len, next_dist = find(pos + 1)
+                if next_len > length:
+                    # Emit this byte as a literal; take the later match.
+                    pos += 1
+                    length, dist = next_len, next_dist
+            tokens.append(Token(lit_start, pos - lit_start, length, dist))
+            # Index positions covered by the match (bounded for speed).
+            end = pos + length
+            for p in range(first_uninserted, min(end, limit + 1)):
+                insert(p)
+            pos = end
+            lit_start = pos
+
+        tokens.append(Token(lit_start, n - lit_start, 0, 0))
+        return tokens
+
+
+def reconstruct(tokens: List[Token], data: bytes, prefix: bytes = b"") -> bytes:
+    """Re-expand a token stream against its own source (testing aid).
+
+    ``prefix`` primes the output for dictionary-mode token streams.
+    """
+    out = bytearray(prefix)
+    for tok in tokens:
+        out += data[tok.lit_start : tok.lit_start + tok.lit_len]
+        if tok.match_len:
+            start = len(out) - tok.distance
+            if start < 0:
+                raise ValueError("distance reaches before stream start")
+            for i in range(tok.match_len):
+                out.append(out[start + i])
+    return bytes(out[len(prefix):])

@@ -1,0 +1,306 @@
+"""Block devices: PolarCSD (with in-storage compression) and plain SSDs.
+
+All devices expose the same NVMe-shaped interface: 4 KB-aligned reads and
+writes addressed by LBA, plus TRIM.  Every operation takes the simulated
+start time and returns an :class:`IOCompletion` carrying the finish time;
+a per-device FIFO :class:`~repro.common.clock.Resource` provides queueing
+so queue-depth effects emerge naturally.
+
+``PolarCSD`` runs every 4 KB logical block through the hardware gzip
+engine and places the compressed payload byte-granularly via the FTL.
+``PlainSSD`` stores blocks 1:1.  Both keep the actual bytes so the storage
+software above can read real data back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.clock import Resource, ResourcePool
+from repro.common.errors import DeviceError, OutOfSpaceError
+from repro.common.latency import LatencyStats
+from repro.common.units import KiB, MiB, is_aligned
+from repro.compression.gzipdev import HardwareGzip
+from repro.csd.faults import FaultProfile, profile_for
+from repro.csd.ftl import FTL
+from repro.csd.mapping import L2PEntryCodecV1, L2PEntryCodecV2
+from repro.csd.specs import DeviceSpec
+
+LBA_SIZE = 4 * KiB
+
+
+@dataclass(frozen=True)
+class IOCompletion:
+    """Result of one device command."""
+
+    start_us: float
+    done_us: float
+    data: Optional[bytes] = None
+
+    @property
+    def latency_us(self) -> float:
+        return self.done_us - self.start_us
+
+
+class BlockDevice:
+    """Common queueing, jitter, fault injection, and stats."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        seed: int = 0,
+        inject_faults: bool = False,
+        parallelism: int = 1,
+    ) -> None:
+        """``parallelism`` models internal channel/striping concurrency
+        (or, at node scope, the 10–12 drives a storage server actually
+        has); requests beyond it queue FIFO."""
+        self.spec = spec
+        if parallelism <= 1:
+            self.queue = Resource(spec.name)
+        else:
+            self.queue = ResourcePool(spec.name, parallelism)
+        self.read_stats = LatencyStats()
+        self.write_stats = LatencyStats()
+        self._rng = np.random.default_rng(seed)
+        self._faults: Optional[FaultProfile] = (
+            profile_for(spec.name) if inject_faults else None
+        )
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _service_write_us(self, lba: int, data: bytes) -> float:
+        raise NotImplementedError
+
+    def _service_read_us(self, lba: int, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def _store(self, lba: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _load(self, lba: int, nbytes: int) -> bytes:
+        raise NotImplementedError
+
+    def trim(self, lba: int, nbytes: int = LBA_SIZE) -> None:
+        raise NotImplementedError
+
+    # -- public interface ----------------------------------------------------
+
+    def write(self, start_us: float, lba: int, data: bytes) -> IOCompletion:
+        """Write ``data`` (4 KB-aligned length) at logical block ``lba``."""
+        self._check_alignment(len(data))
+        service = self._service_write_us(lba, data)
+        service *= self._jitter()
+        service += self._fault_extra(is_read=False)
+        self._store(lba, data)
+        done = self.queue.serve(start_us, service)
+        self.write_stats.record(done - start_us)
+        return IOCompletion(start_us, done)
+
+    def read(self, start_us: float, lba: int, nbytes: int) -> IOCompletion:
+        """Read ``nbytes`` (4 KB-aligned) starting at logical block ``lba``."""
+        self._check_alignment(nbytes)
+        data = self._load(lba, nbytes)
+        service = self._service_read_us(lba, nbytes)
+        service *= self._jitter()
+        service += self._fault_extra(is_read=True)
+        done = self.queue.serve(start_us, service)
+        self.read_stats.record(done - start_us)
+        return IOCompletion(start_us, done, data)
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _check_alignment(nbytes: int) -> None:
+        if nbytes <= 0 or not is_aligned(nbytes, LBA_SIZE):
+            raise DeviceError(f"I/O size {nbytes} not 4 KiB-aligned")
+
+    def _jitter(self) -> float:
+        if self.spec.jitter_sigma == 0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.spec.jitter_sigma)))
+
+    def _fault_extra(self, is_read: bool) -> float:
+        if self._faults is None:
+            return 0.0
+        return self._faults.sample_one_us(self._rng, is_read)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class PlainSSD(BlockDevice):
+    """Conventional SSD (Intel P4510/P5510/Optane): fixed 1:1 mapping."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        seed: int = 0,
+        inject_faults: bool = False,
+        parallelism: int = 1,
+    ):
+        super().__init__(spec, seed, inject_faults, parallelism)
+        self._blocks: Dict[int, bytes] = {}
+
+    def _service_write_us(self, lba: int, data: bytes) -> float:
+        return (
+            self.spec.write_fixed_us
+            + self.spec.transfer_us(len(data))
+            + self.spec.nand_write_us(len(data))
+        )
+
+    def _service_read_us(self, lba: int, nbytes: int) -> float:
+        return (
+            self.spec.read_fixed_us
+            + self.spec.nand_read_us(nbytes)
+            + self.spec.transfer_us(nbytes)
+        )
+
+    def _store(self, lba: int, data: bytes) -> None:
+        capacity_blocks = self.spec.logical_capacity // LBA_SIZE
+        for i in range(0, len(data), LBA_SIZE):
+            block_lba = lba + i // LBA_SIZE
+            if block_lba >= capacity_blocks:
+                raise OutOfSpaceError(f"{self.name}: LBA {block_lba} beyond capacity")
+            self._blocks[block_lba] = data[i : i + LBA_SIZE]
+
+    def _load(self, lba: int, nbytes: int) -> bytes:
+        out = bytearray()
+        for i in range(nbytes // LBA_SIZE):
+            block = self._blocks.get(lba + i)
+            if block is None:
+                raise DeviceError(f"{self.name}: read of unwritten LBA {lba + i}")
+            out += block
+        return bytes(out)
+
+    def trim(self, lba: int, nbytes: int = LBA_SIZE) -> None:
+        self._check_alignment(nbytes)
+        for i in range(nbytes // LBA_SIZE):
+            self._blocks.pop(lba + i, None)
+
+    @property
+    def physical_used_bytes(self) -> int:
+        return len(self._blocks) * LBA_SIZE
+
+    @property
+    def logical_used_bytes(self) -> int:
+        return len(self._blocks) * LBA_SIZE
+
+
+class PolarCSD(BlockDevice):
+    """Computational storage drive with in-storage gzip compression.
+
+    Each 4 KB logical block is compressed independently (the NVMe interface
+    fixes the input size, §2.2.2) and placed byte-granularly by the FTL.
+    Generation is selected by the spec: PolarCSD1.0 uses the 8-byte L2P
+    codec (byte offsets), PolarCSD2.0 the 7-byte codec (16-byte offsets).
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        seed: int = 0,
+        inject_faults: bool = False,
+        block_capacity: int = 4 * MiB,
+        physical_capacity: Optional[int] = None,
+        trim_enabled: bool = True,
+        parallelism: int = 1,
+    ) -> None:
+        if not spec.has_compression:
+            raise DeviceError(f"{spec.name} has no compression engine")
+        super().__init__(spec, seed, inject_faults, parallelism)
+        codec = L2PEntryCodecV1() if spec.host_managed_ftl else L2PEntryCodecV2()
+        self.ftl = FTL(
+            physical_capacity
+            if physical_capacity is not None
+            else spec.physical_capacity,
+            codec=codec,
+            block_capacity=block_capacity,
+            trim_enabled=trim_enabled,
+        )
+        self.engine = HardwareGzip()
+        self._blocks: Dict[int, bytes] = {}
+        self._pending_gc_us = 0.0
+
+    # -- service time ---------------------------------------------------------
+
+    def _service_write_us(self, lba: int, data: bytes) -> float:
+        n_blocks = len(data) // LBA_SIZE
+        # Compression happens per 4 KB block inside the device; physical
+        # NAND programming covers only the compressed bytes.
+        physical = 0
+        relocated = 0
+        for i in range(n_blocks):
+            block = data[i * LBA_SIZE : (i + 1) * LBA_SIZE]
+            compressed_len = min(len(self.engine.compress(block)), LBA_SIZE)
+            relocated += self.ftl.write(lba + i, compressed_len)
+            physical += self.ftl.stored_length(lba + i)
+        service = (
+            self.spec.write_fixed_us
+            + self.spec.transfer_us(len(data))
+            + self.spec.hw_compress_us_per_block * n_blocks
+            + self.spec.nand_write_us(physical)
+        )
+        # GC relocation work occupies the device asynchronously; charge it
+        # as extra service so sustained overwrites feel the pressure.
+        if relocated:
+            service += self.spec.nand_write_us(relocated) + self.spec.nand_read_us(
+                relocated
+            )
+        return service
+
+    def _service_read_us(self, lba: int, nbytes: int) -> float:
+        n_blocks = nbytes // LBA_SIZE
+        physical = 0
+        for i in range(n_blocks):
+            physical += self.ftl.stored_length(lba + i)
+        return (
+            self.spec.read_fixed_us
+            + self.spec.nand_read_us(physical)
+            + self.spec.hw_decompress_us_per_block * n_blocks
+            + self.spec.transfer_us(nbytes)
+        )
+
+    # -- data -------------------------------------------------------------------
+
+    def _store(self, lba: int, data: bytes) -> None:
+        for i in range(0, len(data), LBA_SIZE):
+            self._blocks[lba + i // LBA_SIZE] = data[i : i + LBA_SIZE]
+
+    def _load(self, lba: int, nbytes: int) -> bytes:
+        out = bytearray()
+        for i in range(nbytes // LBA_SIZE):
+            block = self._blocks.get(lba + i)
+            if block is None:
+                raise DeviceError(f"{self.name}: read of unwritten LBA {lba + i}")
+            out += block
+        return bytes(out)
+
+    def trim(self, lba: int, nbytes: int = LBA_SIZE) -> None:
+        self._check_alignment(nbytes)
+        for i in range(nbytes // LBA_SIZE):
+            self.ftl.trim(lba + i)
+            self._blocks.pop(lba + i, None)
+
+    # -- space reporting ----------------------------------------------------------
+
+    @property
+    def physical_used_bytes(self) -> int:
+        """What the device reports (includes untrimmed ghosts)."""
+        return self.ftl.live_bytes
+
+    @property
+    def logical_used_bytes(self) -> int:
+        return self.ftl.logical_used_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Logical bytes stored per physical byte consumed."""
+        physical = self.ftl.host_live_bytes
+        if physical == 0:
+            return 1.0
+        return self.ftl.logical_used_bytes / physical

@@ -1,0 +1,111 @@
+"""Variable-length L2P mapping entry encodings (§3.2.2, §4.1.2).
+
+A conventional page-mapping FTL stores a fixed 4 KB-to-4 KB translation in
+about 5 bytes per entry.  PolarCSD extends each entry so a 4 KB LBA can map
+to a *byte-granularity* physical location:
+
+* **Gen 1 (PolarCSD1.0)** adds 12-bit ``offset`` and 12-bit ``length``
+  fields (positions within a 4 KB boundary) — 3 extra bytes, 8 bytes per
+  entry in total.  A 7.68 TB device therefore needs
+  ``7.68 TB / 4 KB × 8 B = 15.36 GB`` of mapping DRAM, the number §4.1.1
+  reports.
+* **Gen 2 (PolarCSD2.0)** coarsens the physical offset granularity to
+  16 bytes so offset and length fit in 2 bytes — 7 bytes per entry —
+  which is what lets the device expose 9.6 TB of logical space without
+  growing its DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KiB, ceil_div
+
+#: Bytes of a conventional fixed-mapping L2P entry (base PBA + flags).
+BASE_ENTRY_BYTES = 5
+#: LBA granularity of the mapping.
+MAPPING_LBA_SIZE = 4 * KiB
+
+
+@dataclass(frozen=True)
+class L2PEntry:
+    """A decoded mapping: LBA -> (physical 4 KB frame, byte offset, length).
+
+    ``length`` is the *stored* length — for gen 2 it is the 16-byte-aligned
+    length actually charged against physical space.
+    """
+
+    frame: int
+    offset: int
+    length: int
+
+
+class L2PEntryCodecV1:
+    """Gen-1 encoding: byte-granular offset/length, 8 bytes per entry."""
+
+    entry_bytes = 8
+    offset_granularity = 1
+
+    def encode(self, frame: int, offset: int, length: int) -> bytes:
+        if not 0 <= offset < MAPPING_LBA_SIZE:
+            raise ValueError(f"offset {offset} outside 4 KiB frame")
+        if not 1 <= length <= MAPPING_LBA_SIZE:
+            raise ValueError(f"length {length} outside (0, 4 KiB]")
+        if not 0 <= frame < 1 << 40:
+            raise ValueError(f"frame {frame} exceeds 40 bits")
+        packed = (frame << 24) | (offset << 12) | (length - 1)
+        return packed.to_bytes(self.entry_bytes, "little")
+
+    def decode(self, raw: bytes) -> L2PEntry:
+        if len(raw) != self.entry_bytes:
+            raise ValueError(f"expected {self.entry_bytes} bytes, got {len(raw)}")
+        packed = int.from_bytes(raw, "little")
+        length = (packed & 0xFFF) + 1
+        offset = (packed >> 12) & 0xFFF
+        frame = packed >> 24
+        return L2PEntry(frame, offset, length)
+
+    def stored_length(self, length: int) -> int:
+        """Physical bytes charged for a compressed block of ``length``."""
+        return length
+
+
+class L2PEntryCodecV2:
+    """Gen-2 encoding: 16-byte offset granularity, 7 bytes per entry."""
+
+    entry_bytes = 7
+    offset_granularity = 16
+
+    def encode(self, frame: int, offset: int, length: int) -> bytes:
+        if offset % self.offset_granularity:
+            raise ValueError(
+                f"offset {offset} not {self.offset_granularity}-byte aligned"
+            )
+        if not 0 <= offset < MAPPING_LBA_SIZE:
+            raise ValueError(f"offset {offset} outside 4 KiB frame")
+        if not 1 <= length <= MAPPING_LBA_SIZE:
+            raise ValueError(f"length {length} outside (0, 4 KiB]")
+        if not 0 <= frame < 1 << 40:
+            raise ValueError(f"frame {frame} exceeds 40 bits")
+        offset_units = offset // self.offset_granularity
+        length_units = ceil_div(length, self.offset_granularity)
+        packed = (frame << 16) | (offset_units << 8) | (length_units - 1)
+        return packed.to_bytes(self.entry_bytes, "little")
+
+    def decode(self, raw: bytes) -> L2PEntry:
+        if len(raw) != self.entry_bytes:
+            raise ValueError(f"expected {self.entry_bytes} bytes, got {len(raw)}")
+        packed = int.from_bytes(raw, "little")
+        length = ((packed & 0xFF) + 1) * self.offset_granularity
+        offset = ((packed >> 8) & 0xFF) * self.offset_granularity
+        frame = packed >> 16
+        return L2PEntry(frame, offset, length)
+
+    def stored_length(self, length: int) -> int:
+        """Physical bytes charged: rounded up to 16-byte units."""
+        return ceil_div(length, self.offset_granularity) * self.offset_granularity
+
+
+def ftl_dram_bytes(logical_capacity: int, entry_bytes: int) -> int:
+    """Mapping-table DRAM for a device of ``logical_capacity`` bytes."""
+    return ceil_div(logical_capacity, MAPPING_LBA_SIZE) * entry_bytes

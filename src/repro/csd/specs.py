@@ -1,0 +1,153 @@
+"""Calibrated device specifications.
+
+Latency constants are calibrated so that the simulator reproduces the
+*orderings and trends* of the paper's Figure 7 (16 KB I/O at queue depth 1):
+
+* PolarCSD writes are faster than the matching Intel SSD (the CSD programs
+  fewer NAND bytes after compression and acks from its write buffer), but
+  its reads are slower (extra in-storage decompression + indirection);
+* higher compressible ratios lower both CSD latencies because fewer
+  physical bytes move through NAND;
+* plain SSDs are flat across compression ratios;
+* PCIe 4.0 devices (P5510, PolarCSD2.0) beat their PCIe 3.0 counterparts;
+* Optane devices are an order of magnitude faster and stable, which is why
+  PolarStore puts redo logs and the WAL on them (§3.3.1).
+
+Absolute values follow public spec sheets (P4510 4 KB random read ≈ 77 µs,
+Optane ≈ 10 µs) and the paper's reported redo-write and page-read figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GiB, KiB, TiB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one storage device model."""
+
+    name: str
+    pcie_gen: int
+    logical_capacity: int
+    physical_capacity: int
+    #: Fixed controller/firmware overhead per read or write command (µs).
+    read_fixed_us: float
+    write_fixed_us: float
+    #: NAND media cost per physical KiB moved (µs).
+    nand_read_us_per_kib: float
+    nand_write_us_per_kib: float
+    #: Host-link transfer cost per logical KiB (µs); scales with PCIe gen.
+    transfer_us_per_kib: float
+    #: In-storage decompression/compression overhead per 4 KiB block (µs);
+    #: zero for devices without a compression engine.
+    hw_decompress_us_per_block: float = 0.0
+    hw_compress_us_per_block: float = 0.0
+    #: Lognormal jitter applied to each I/O.
+    jitter_sigma: float = 0.08
+    #: True when the device runs a compression engine + byte-granular FTL.
+    has_compression: bool = False
+    #: True when the FTL runs on the host (PolarCSD1.0's open-channel mode).
+    host_managed_ftl: bool = False
+
+    def transfer_us(self, nbytes: int) -> float:
+        return self.transfer_us_per_kib * nbytes / KiB
+
+    def nand_read_us(self, nbytes: int) -> float:
+        return self.nand_read_us_per_kib * nbytes / KiB
+
+    def nand_write_us(self, nbytes: int) -> float:
+        return self.nand_write_us_per_kib * nbytes / KiB
+
+
+# PCIe effective per-KiB transfer cost (one direction, including protocol
+# overhead): gen3 x4 ≈ 3.2 GB/s, gen4 x4 ≈ 6.5 GB/s.
+_PCIE3_US_PER_KIB = 0.32
+_PCIE4_US_PER_KIB = 0.16
+
+P4510 = DeviceSpec(
+    name="Intel P4510",
+    pcie_gen=3,
+    logical_capacity=int(3.84 * TiB),
+    physical_capacity=int(3.84 * TiB),
+    read_fixed_us=72.0,
+    write_fixed_us=14.0,
+    nand_read_us_per_kib=1.1,
+    nand_write_us_per_kib=0.9,
+    transfer_us_per_kib=_PCIE3_US_PER_KIB,
+)
+
+P5510 = DeviceSpec(
+    name="Intel P5510",
+    pcie_gen=4,
+    logical_capacity=int(7.68 * TiB),
+    physical_capacity=int(7.68 * TiB),
+    read_fixed_us=66.0,
+    write_fixed_us=11.0,
+    nand_read_us_per_kib=0.95,
+    nand_write_us_per_kib=0.8,
+    transfer_us_per_kib=_PCIE4_US_PER_KIB,
+)
+
+POLARCSD1 = DeviceSpec(
+    name="PolarCSD1.0",
+    pcie_gen=3,
+    logical_capacity=int(7.68 * TiB),
+    physical_capacity=int(3.20 * TiB),
+    # Reads pay in-storage index lookup + decompression: higher fixed cost
+    # than P4510.  Writes ack from the device write buffer after
+    # compression: lower fixed cost.
+    read_fixed_us=88.0,
+    write_fixed_us=10.0,
+    nand_read_us_per_kib=1.1,
+    nand_write_us_per_kib=0.9,
+    transfer_us_per_kib=_PCIE3_US_PER_KIB,
+    hw_decompress_us_per_block=2.4,
+    # The compression engine is pipelined with the host transfer, so only
+    # a small residual per-block cost reaches the write latency.
+    hw_compress_us_per_block=0.5,
+    has_compression=True,
+    host_managed_ftl=True,
+)
+
+POLARCSD2 = DeviceSpec(
+    name="PolarCSD2.0",
+    pcie_gen=4,
+    logical_capacity=int(9.60 * TiB),
+    physical_capacity=int(3.84 * TiB),
+    read_fixed_us=78.0,
+    write_fixed_us=8.0,
+    nand_read_us_per_kib=0.95,
+    nand_write_us_per_kib=0.8,
+    transfer_us_per_kib=_PCIE4_US_PER_KIB,
+    hw_decompress_us_per_block=2.0,
+    hw_compress_us_per_block=0.4,
+    has_compression=True,
+)
+
+OPTANE_P4800X = DeviceSpec(
+    name="Intel Optane P4800X",
+    pcie_gen=3,
+    logical_capacity=375 * GiB,
+    physical_capacity=375 * GiB,
+    read_fixed_us=9.0,
+    write_fixed_us=9.0,
+    nand_read_us_per_kib=0.05,
+    nand_write_us_per_kib=0.05,
+    transfer_us_per_kib=_PCIE3_US_PER_KIB,
+    jitter_sigma=0.02,
+)
+
+OPTANE_P5800X = DeviceSpec(
+    name="Intel Optane P5800X",
+    pcie_gen=4,
+    logical_capacity=400 * GiB,
+    physical_capacity=400 * GiB,
+    read_fixed_us=6.0,
+    write_fixed_us=6.0,
+    nand_read_us_per_kib=0.04,
+    nand_write_us_per_kib=0.04,
+    transfer_us_per_kib=_PCIE4_US_PER_KIB,
+    jitter_sigma=0.02,
+)

@@ -1,0 +1,80 @@
+"""A PolarDB instance: RW node + RO nodes + shared PolarStore."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.db.ro_node import RONode
+from repro.db.rw_node import RWNode
+from repro.storage.node import NodeConfig
+from repro.storage.store import PolarStore
+
+
+class PolarDB:
+    """Convenience wiring of the whole stack for examples and benchmarks."""
+
+    def __init__(
+        self,
+        store: Optional[PolarStore] = None,
+        config: Optional[NodeConfig] = None,
+        buffer_pool_pages: int = 256,
+        ro_nodes: int = 1,
+        volume_bytes: int = 256 * 1024 * 1024,
+        seed: int = 0,
+    ) -> None:
+        if store is None:
+            store = PolarStore(
+                config if config is not None else NodeConfig(),
+                volume_bytes=volume_bytes,
+                seed=seed,
+            )
+        self.store = store
+        self.rw = RWNode(store, buffer_pool_pages)
+        self.ro: List[RONode] = [
+            RONode(store, self.rw, buffer_pool_pages) for _ in range(ro_nodes)
+        ]
+
+    # -- DDL/DML passthrough ------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        self.rw.create_table(name)
+
+    def insert(self, now_us: float, table: str, key: int, value: bytes):
+        return self.rw.insert(now_us, table, key, value)
+
+    def update(self, now_us: float, table: str, key: int, value: bytes):
+        return self.rw.update(now_us, table, key, value)
+
+    def delete(self, now_us: float, table: str, key: int):
+        return self.rw.delete(now_us, table, key)
+
+    def select(self, now_us: float, table: str, key: int, ro_index: int = -1):
+        """Point select; ``ro_index >= 0`` routes to a read-only node."""
+        if ro_index >= 0:
+            return self.ro[ro_index].select(now_us, table, key)
+        return self.rw.select(now_us, table, key)
+
+    def range_select(self, now_us: float, table: str, low: int, high: int):
+        return self.rw.range_select(now_us, table, low, high)
+
+    def bulk_load(
+        self, now_us: float, table: str, rows: List[Tuple[int, bytes]]
+    ) -> float:
+        return self.rw.bulk_load(now_us, table, rows)
+
+    def checkpoint(self, now_us: float) -> float:
+        """Force the storage layer to materialize all pending redo."""
+        return self.store.checkpoint(now_us)
+
+    # -- observability ----------------------------------------------------------
+
+    def compression_ratio(self) -> float:
+        return self.store.compression_ratio()
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.store.logical_used_bytes
+
+    @property
+    def physical_bytes(self) -> int:
+        return self.store.physical_used_bytes

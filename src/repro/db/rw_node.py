@@ -1,0 +1,190 @@
+"""The read-write compute node.
+
+Executes DML against B+trees held in its buffer pool, converts the exact
+byte modifications of touched pages into redo records, and commits each
+statement by replicating that redo to shared storage (the transaction-
+commit critical path, §3.3).  Dirty pages are never written back — storage
+regenerates them from redo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import ResourcePool
+from repro.common.errors import ReproError
+from repro.db.btree import BPlusTree
+from repro.db.bufferpool import BufferPool, OpContext
+from repro.storage.redo import RedoRecord
+
+#: CPU cost of parsing + executing one simple statement (µs).
+EXECUTE_CPU_US = 18.0
+#: Extra CPU at commit (txn bookkeeping, §2.1 log record of commit).
+COMMIT_CPU_US = 4.0
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Latency breakdown of one statement."""
+
+    done_us: float
+    io_reads: int
+    redo_bytes: int
+    value: Optional[bytes] = None
+
+    def latency_us(self, start_us: float) -> float:
+        return self.done_us - start_us
+
+
+class RWNode:
+    """The single read-write node of a PolarDB instance."""
+
+    def __init__(
+        self, store, buffer_pool_pages: int = 256, cpu_cores: int = 8
+    ) -> None:
+        self.store = store
+        self.pool = BufferPool(buffer_pool_pages, store)
+        self.trees: Dict[str, BPlusTree] = {}
+        self._next_page_no = 1
+        self._next_lsn = 1
+        self.committed_statements = 0
+        #: The compute instance's cores (the paper evaluates an 8-core
+        #: instance); statement CPU queues here under high concurrency.
+        self.cpu = ResourcePool("rw-cpu", cpu_cores)
+        self.secondary_indexes: Dict[str, object] = {}
+
+    def _start_statement(self, start_us: float) -> OpContext:
+        return OpContext(self.cpu.serve(start_us, EXECUTE_CPU_US))
+
+    # -- catalog ------------------------------------------------------------
+
+    def create_table(self, name: str) -> BPlusTree:
+        if name in self.trees:
+            raise ReproError(f"table {name!r} already exists")
+        tree = BPlusTree(self.pool, self._allocate_page_no)
+        self.trees[name] = tree
+        # The catalog change itself generates redo.
+        return tree
+
+    def create_secondary_index(self, table: str, index_name: str):
+        """Create a non-unique secondary index on ``table``.
+
+        Maintained explicitly via the returned handle's insert/move/delete
+        (the sysbench ``update_index`` mechanics); its pages flow through
+        the same buffer pool and redo pipeline as everything else.
+        """
+        from repro.db.secondary import SecondaryIndex
+
+        self.tree(table)  # validate the base table exists
+        catalog_name = f"{table}.{index_name}"
+        if catalog_name in self.trees:
+            raise ReproError(f"index {catalog_name!r} already exists")
+        tree = BPlusTree(self.pool, self._allocate_page_no)
+        self.trees[catalog_name] = tree
+        index = SecondaryIndex(tree)
+        self.secondary_indexes[catalog_name] = index
+        return index
+
+    def _allocate_page_no(self) -> int:
+        page_no = self._next_page_no
+        self._next_page_no += 1
+        return page_no
+
+    def tree(self, name: str) -> BPlusTree:
+        if name not in self.trees:
+            raise ReproError(f"no such table {name!r}")
+        return self.trees[name]
+
+    # -- redo plumbing ---------------------------------------------------------
+
+    def _collect_redo(self) -> List[RedoRecord]:
+        records: List[RedoRecord] = []
+        for page_no, page in self.pool.drain_touched().items():
+            for offset, data in page.drain_mods():
+                records.append(RedoRecord(self._next_lsn, page_no, offset, data))
+                self._next_lsn += 1
+        return records
+
+    def _commit(self, ctx: OpContext) -> Tuple[float, int]:
+        """Persist this statement's redo; returns (commit time, bytes)."""
+        records = self._collect_redo()
+        if not records:
+            return ctx.now_us, 0
+        ctx.now_us = self.cpu.serve(ctx.now_us, COMMIT_CPU_US)
+        commit_us = self.store.write_redo(ctx.now_us, records)
+        self.committed_statements += 1
+        return commit_us, sum(r.size_bytes for r in records)
+
+    @property
+    def current_lsn(self) -> int:
+        return self._next_lsn
+
+    # -- DML ----------------------------------------------------------------------
+
+    def insert(self, start_us: float, table: str, key: int, value: bytes) -> OpResult:
+        ctx = self._start_statement(start_us)
+        self.tree(table).insert(ctx, key, value, self._next_lsn)
+        done, redo_bytes = self._commit(ctx)
+        return OpResult(done, ctx.io_reads, redo_bytes)
+
+    def update(self, start_us: float, table: str, key: int, value: bytes) -> OpResult:
+        ctx = self._start_statement(start_us)
+        if not self.tree(table).update(ctx, key, value, self._next_lsn):
+            raise ReproError(f"update of missing key {key}")
+        done, redo_bytes = self._commit(ctx)
+        return OpResult(done, ctx.io_reads, redo_bytes)
+
+    def delete(self, start_us: float, table: str, key: int) -> OpResult:
+        ctx = self._start_statement(start_us)
+        found = self.tree(table).delete(ctx, key, self._next_lsn)
+        if not found:
+            raise ReproError(f"delete of missing key {key}")
+        done, redo_bytes = self._commit(ctx)
+        return OpResult(done, ctx.io_reads, redo_bytes)
+
+    def select(self, start_us: float, table: str, key: int) -> OpResult:
+        ctx = self._start_statement(start_us)
+        value = self.tree(table).search(ctx, key)
+        self.pool.drain_touched()  # reads generate no redo
+        return OpResult(ctx.now_us, ctx.io_reads, 0, value)
+
+    def range_select(
+        self, start_us: float, table: str, low: int, high: int
+    ) -> OpResult:
+        ctx = self._start_statement(start_us)
+        rows = self.tree(table).range_scan(ctx, low, high)
+        self.pool.drain_touched()
+        payload = b"".join(value for _, value in rows)
+        return OpResult(ctx.now_us, ctx.io_reads, 0, payload)
+
+    # -- transactions -----------------------------------------------------------------
+
+    def begin(self, start_us: float):
+        """Open a multi-statement transaction (see
+        :class:`repro.db.transaction.Transaction`)."""
+        from repro.db.transaction import Transaction
+
+        return Transaction(self, start_us)
+
+    # -- bulk load -------------------------------------------------------------------
+
+    def bulk_load(
+        self, start_us: float, table: str, rows: List[Tuple[int, bytes]],
+        redo_batch: int = 64,
+    ) -> float:
+        """Load many rows, batching redo commits (initial data load)."""
+        now = start_us
+        tree = self.tree(table)
+        pending = 0
+        for key, value in rows:
+            ctx = OpContext(now)
+            tree.insert(ctx, key, value, self._next_lsn)
+            now = ctx.now_us
+            pending += 1
+            if pending >= redo_batch:
+                now = self._commit(OpContext(now))[0]
+                pending = 0
+        if pending:
+            now = self._commit(OpContext(now))[0]
+        return now

@@ -1,0 +1,88 @@
+"""Secondary indexes.
+
+Sysbench's ``update_index`` workload updates an indexed column: the row
+stays put but the secondary index entry moves.  This module provides that
+structure — a B+tree whose keys are ``(secondary key, primary key)``
+composites, supporting duplicate secondary values — plus maintenance
+hooks the RW node drives on DML.
+
+The composite encoding packs both 32-bit keys into the tree's 64-bit key
+space: range-scanning one secondary value is a contiguous scan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ReproError
+from repro.db.btree import BPlusTree
+from repro.db.bufferpool import OpContext
+
+_KEY_BITS = 32
+_KEY_MASK = (1 << _KEY_BITS) - 1
+
+
+def composite_key(secondary: int, primary: int) -> int:
+    if not 0 <= secondary <= _KEY_MASK:
+        raise ReproError(f"secondary key {secondary} exceeds 32 bits")
+    if not 0 <= primary <= _KEY_MASK:
+        raise ReproError(f"primary key {primary} exceeds 32 bits")
+    return (secondary << _KEY_BITS) | primary
+
+
+def split_composite(key: int) -> "tuple[int, int]":
+    return key >> _KEY_BITS, key & _KEY_MASK
+
+
+class SecondaryIndex:
+    """A non-unique secondary index over one table."""
+
+    def __init__(self, tree: BPlusTree) -> None:
+        self.tree = tree
+
+    def insert(
+        self, ctx: OpContext, secondary: int, primary: int, lsn: int
+    ) -> None:
+        self.tree.insert(ctx, composite_key(secondary, primary), b"\x01", lsn)
+
+    def delete(
+        self, ctx: OpContext, secondary: int, primary: int, lsn: int
+    ) -> bool:
+        return self.tree.delete(ctx, composite_key(secondary, primary), lsn)
+
+    def move(
+        self,
+        ctx: OpContext,
+        old_secondary: int,
+        new_secondary: int,
+        primary: int,
+        lsn: int,
+    ) -> None:
+        """The update-index operation: relocate one entry."""
+        if old_secondary == new_secondary:
+            return
+        if not self.delete(ctx, old_secondary, primary, lsn):
+            raise ReproError(
+                f"index entry ({old_secondary}, {primary}) missing"
+            )
+        self.insert(ctx, new_secondary, primary, lsn)
+
+    def lookup(self, ctx: OpContext, secondary: int) -> List[int]:
+        """All primary keys carrying ``secondary`` (contiguous scan)."""
+        low = composite_key(secondary, 0)
+        high = composite_key(secondary, _KEY_MASK)
+        return [
+            split_composite(key)[1]
+            for key, _ in self.tree.range_scan(ctx, low, high)
+        ]
+
+    def lookup_range(
+        self, ctx: OpContext, low_secondary: int, high_secondary: int
+    ) -> List["tuple[int, int]"]:
+        """(secondary, primary) pairs with secondary in the given range."""
+        low = composite_key(low_secondary, 0)
+        high = composite_key(high_secondary, _KEY_MASK)
+        return [
+            split_composite(key)
+            for key, _ in self.tree.range_scan(ctx, low, high)
+        ]

@@ -1,0 +1,37 @@
+"""The PolarStore storage node software.
+
+Implements §3 of the paper: the lightweight software compression layer
+(two-level allocator, hash-table page index, write-ahead log, 3-way Raft
+replication), the three write modes (normal / no / heavy compression), and
+the three DB-oriented optimizations:
+
+* Opt#1 — redo-log writes bypass compression onto the performance device;
+* Opt#2 — adaptive lz4/zstd selection per page (Algorithm 1);
+* Opt#3 — per-page log co-location to remove read amplification from page
+  consolidation.
+"""
+
+from repro.storage.allocator import BitmapAllocator, GlobalAllocator, SpaceManager
+from repro.storage.cache import LRUCache
+from repro.storage.index import CompressionInfo, IndexEntry, PageIndex
+from repro.storage.node import NodeConfig, StorageNode
+from repro.storage.raft import NetworkModel, ReplicationGroup
+from repro.storage.store import CompressionMode, PolarStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "GlobalAllocator",
+    "BitmapAllocator",
+    "SpaceManager",
+    "LRUCache",
+    "PageIndex",
+    "IndexEntry",
+    "CompressionInfo",
+    "WriteAheadLog",
+    "NetworkModel",
+    "ReplicationGroup",
+    "StorageNode",
+    "NodeConfig",
+    "PolarStore",
+    "CompressionMode",
+]

@@ -1,0 +1,115 @@
+"""Byte-capacity LRU cache used across the storage node.
+
+Backs the page cache, the redo-log cache, and the decompressed-segment
+buffer of the heavy-compression path.  Eviction returns the evicted items
+so callers can spill them (the redo cache spills into per-page log space).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """LRU keyed cache bounded by total charged bytes."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        sizer: Optional[Callable[[V], int]] = None,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"negative capacity {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._sizer = sizer if sizer is not None else len
+        self._items: "OrderedDict[K, Tuple[V, int]]" = OrderedDict()
+        self._used = 0
+        self._pinned: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, key: K) -> None:
+        """Exempt ``key`` from eviction until unpinned (the cache may
+        temporarily exceed capacity if everything else is pinned)."""
+        if key in self._items:
+            self._pinned.add(key)
+
+    def unpin(self, key: K) -> None:
+        self._pinned.discard(key)
+
+    # -- accessors -----------------------------------------------------------
+
+    def get(self, key: K) -> Optional[V]:
+        entry = self._items.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._items.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Read without updating recency or hit counters."""
+        entry = self._items.get(key)
+        return entry[0] if entry else None
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- mutation ---------------------------------------------------------------
+
+    def put(self, key: K, value: V) -> List[Tuple[K, V]]:
+        """Insert/replace; returns evicted ``(key, value)`` pairs."""
+        size = self._sizer(value)
+        if size > self.capacity_bytes:
+            # Too large to cache: evict nothing, do not admit.
+            return []
+        old = self._items.pop(key, None)
+        if old is not None:
+            self._used -= old[1]
+        self._items[key] = (value, size)
+        self._used += size
+        evicted: List[Tuple[K, V]] = []
+        scanned = 0
+        while self._used > self.capacity_bytes and scanned < len(self._items):
+            victim_key = next(iter(self._items))
+            if victim_key in self._pinned:
+                # Skip pinned entries (refresh recency so the scan moves on).
+                self._items.move_to_end(victim_key)
+                scanned += 1
+                continue
+            victim_value, victim_size = self._items.pop(victim_key)
+            self._used -= victim_size
+            evicted.append((victim_key, victim_value))
+        return evicted
+
+    def remove(self, key: K) -> Optional[V]:
+        entry = self._items.pop(key, None)
+        self._pinned.discard(key)
+        if entry is None:
+            return None
+        self._used -= entry[1]
+        return entry[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._pinned.clear()
+        self._used = 0

@@ -1,0 +1,624 @@
+"""The PolarStore storage node.
+
+One node owns a data device (PolarCSD or plain SSD), a performance device
+(Optane, holding the WAL and — with Opt#1 — redo logs), the two-level
+allocator, the page index, a redo-log cache with spill-to-storage, and the
+page consolidation machinery.
+
+Timing model: every public operation takes the simulated start time and
+returns a result carrying ``done_us``.  CPU costs (codec work, record
+application) come from the calibrated cost models; device time comes from
+the device simulators' queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.units import DB_PAGE_SIZE, LBA_SIZE, MiB, align_up, ceil_div
+from repro.compression.base import get_codec
+from repro.compression.cost import codec_cost
+from repro.compression.selector import AlgorithmSelector
+from repro.csd.device import BlockDevice
+from repro.storage.allocator import SpaceManager
+from repro.storage.cache import LRUCache
+from repro.storage.heavy import HeavySegmentStore
+from repro.storage.index import CompressionInfo, IndexEntry, PageIndex
+from repro.storage.perpage_log import PerPageLogStore, ScatteredLogStore
+from repro.storage.redo import RedoRecord, apply_records
+from repro.storage.wal import WriteAheadLog
+
+#: CPU cost of applying one redo record during consolidation (µs).
+REDO_APPLY_US_PER_RECORD = 0.3
+
+#: CompressionInfo <-> WAL wire ids.
+_STATUS_IDS = {
+    CompressionInfo.UNCOMPRESSED: 0,
+    CompressionInfo.NORMAL: 1,
+    CompressionInfo.HEAVY: 2,
+}
+STATUS_FROM_ID = {v: k for k, v in _STATUS_IDS.items()}
+
+
+@dataclass
+class NodeConfig:
+    """Feature switches matching the paper's cluster configurations.
+
+    ``software_compression=False`` with a PolarCSD data device reproduces
+    cluster C1 (hardware-only compression); all-enabled reproduces C2.
+    """
+
+    software_compression: bool = True
+    default_codec: str = "zstd"
+    opt_bypass_redo: bool = True          # Opt#1 (§3.3.1)
+    opt_algorithm_selection: bool = True  # Opt#2 (§3.3.2)
+    opt_per_page_log: bool = True         # Opt#3 (§3.3.3)
+    #: Force Algorithm 1 to re-evaluate on every write (the paper's §5.2
+    #: evaluation mode: "the update always issues the algorithm
+    #: re-selection, representing the worst page write latency").
+    selection_always_evaluate: bool = False
+    redo_cache_bytes: int = 2 * MiB
+    page_cache_bytes: int = 0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class PreparedWrite:
+    """A page after leader-side software compression, ready to replicate."""
+
+    status: CompressionInfo
+    algorithm: Optional[str]
+    payload: bytes
+    n_blocks: int
+    cpu_us: float
+    codec_evaluated: bool = False
+
+    @property
+    def device_bytes(self) -> int:
+        return self.n_blocks * LBA_SIZE
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    done_us: float
+    prepared: PreparedWrite
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    data: bytes
+    done_us: float
+    io_reads: int
+    cpu_us: float
+    consolidated: bool = False
+
+
+class StorageNode:
+    """One storage server of the shared-storage layer."""
+
+    #: Redo batches kept live on the data device before recycling
+    #: (non-bypass mode); redo is reclaimable once pages are flushed.
+    REDO_DATA_BLOCK_WINDOW = 256
+
+    def __init__(
+        self,
+        name: str,
+        config: NodeConfig,
+        data_device: BlockDevice,
+        perf_device: BlockDevice,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.data_device = data_device
+        self.perf_device = perf_device
+        self.space = SpaceManager(data_device.spec.logical_capacity)
+        self.index = PageIndex()
+        self.wal = WriteAheadLog()
+        self.selector = AlgorithmSelector(
+            update_gate=-1.0 if config.selection_always_evaluate else 0.30
+        )
+        self.page_cache: LRUCache = LRUCache(config.page_cache_bytes)
+        # Redo machinery.
+        self.redo_cache: Dict[int, List[RedoRecord]] = {}
+        self._redo_cache_bytes = 0
+        self._last_algorithm: Dict[int, str] = {}
+        if config.opt_per_page_log:
+            self.log_store = PerPageLogStore(data_device, self.space)
+        else:
+            self.log_store = ScatteredLogStore(data_device, self.space)
+        self.heavy = HeavySegmentStore(data_device, self.space)
+        # Performance-device LBA cursors (WAL area, redo area).
+        self._perf_cursor = 0
+        # Redo batches stored on the data device (non-bypass mode only).
+        self._redo_data_blocks: List[Tuple[int, int]] = []
+        # Current 16 KB redo log-buffer window (non-bypass compression).
+        self._redo_log_window = bytearray()
+        # Durably-persisted redo batches (what recovery replays).
+        self.durable_redo_blobs: List[bytes] = []
+        # Stats.
+        self.redo_write_stats: List[float] = []
+        self.page_read_stats: List[float] = []
+        self.page_write_stats: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Page write path                                                     #
+    # ------------------------------------------------------------------ #
+
+    def prepare_page(
+        self,
+        page_no: int,
+        data: bytes,
+        cpu_utilization: float = 0.0,
+        update_percent: float = 1.0,
+        force_codec: Optional[str] = None,
+    ) -> PreparedWrite:
+        """Leader-side software compression (step 1 of Figure 4)."""
+        if len(data) != DB_PAGE_SIZE:
+            return PreparedWrite(
+                CompressionInfo.UNCOMPRESSED,
+                None,
+                data,
+                ceil_div(len(data), LBA_SIZE),
+                0.0,
+            )
+        if not self.config.software_compression:
+            return PreparedWrite(
+                CompressionInfo.UNCOMPRESSED, None, data, 4, 0.0
+            )
+        if force_codec is not None:
+            codec_name = force_codec
+            payload = get_codec(codec_name).compress(data)
+            cpu = codec_cost(codec_name).compress_us(len(data))
+            evaluated = False
+        elif self.config.opt_algorithm_selection:
+            decision = self.selector.select(
+                data,
+                cpu_utilization=cpu_utilization,
+                update_percent=update_percent,
+                last_used=self._last_algorithm.get(page_no),
+            )
+            codec_name = decision.codec
+            payload = decision.result.payload
+            evaluated = decision.evaluated
+            cpu = codec_cost(codec_name).compress_us(len(data))
+            if evaluated:
+                # Evaluation compressed with *both* codecs (Algorithm 1).
+                other = "zstd" if codec_name == "lz4" else "lz4"
+                cpu += codec_cost(other).compress_us(len(data))
+        else:
+            codec_name = self.config.default_codec
+            payload = get_codec(codec_name).compress(data)
+            cpu = codec_cost(codec_name).compress_us(len(data))
+            evaluated = False
+
+        n_blocks = ceil_div(len(payload), LBA_SIZE)
+        if n_blocks * LBA_SIZE >= DB_PAGE_SIZE:
+            # Compression did not save a single block: store raw.
+            return PreparedWrite(
+                CompressionInfo.UNCOMPRESSED, None, data, 4, cpu
+            )
+        self._last_algorithm[page_no] = codec_name
+        return PreparedWrite(
+            CompressionInfo.NORMAL, codec_name, payload, n_blocks, cpu, evaluated
+        )
+
+    def write_page_local(
+        self,
+        start_us: float,
+        page_no: int,
+        prepared: PreparedWrite,
+        applied_lsn: int = 0,
+    ) -> WriteResult:
+        """Persist a prepared page on this node (steps 3.1–3.3 of Fig 4)."""
+        # A rewrite supersedes everything folded in so far: carry the
+        # page's redo high-water mark forward so recovery never replays
+        # stale records over newer content.
+        previous = self.index.get(page_no)
+        if previous is not None:
+            applied_lsn = max(applied_lsn, previous.applied_lsn)
+        lba = self.space.allocate_blocks(prepared.device_bytes)
+        padded = prepared.payload + b"\x00" * (
+            prepared.device_bytes - len(prepared.payload)
+        )
+        completion = self.data_device.write(start_us, lba, padded)
+        self.wal.append_alloc(lba, prepared.n_blocks)
+        self.wal.append_index_put(
+            page_no, lba, prepared.n_blocks, len(prepared.payload),
+            status=_STATUS_IDS[prepared.status],
+            algorithm=prepared.algorithm,
+            applied_lsn=applied_lsn,
+        )
+        done = self._persist_wal(completion.done_us)
+
+        old = self.index.put(
+            page_no,
+            IndexEntry(
+                prepared.status,
+                prepared.algorithm,
+                lba,
+                prepared.n_blocks,
+                len(prepared.payload),
+                applied_lsn=applied_lsn,
+            ),
+        )
+        self._release_entry(old)
+        self.page_cache.remove(page_no)
+        self.page_write_stats.append(done - start_us + prepared.cpu_us)
+        return WriteResult(done, prepared)
+
+    def write_page(
+        self,
+        start_us: float,
+        page_no: int,
+        data: bytes,
+        cpu_utilization: float = 0.0,
+        update_percent: float = 1.0,
+        force_codec: Optional[str] = None,
+    ) -> WriteResult:
+        """Single-node convenience: prepare + persist locally."""
+        prepared = self.prepare_page(
+            page_no, data, cpu_utilization, update_percent, force_codec
+        )
+        return self.write_page_local(start_us + prepared.cpu_us, page_no, prepared)
+
+    def write_partial(
+        self, start_us: float, page_no: int, offset: int, data: bytes
+    ) -> WriteResult:
+        """Non-page-aligned write into a previously written page (§3.2.3).
+
+        Per the no-compression mode's rule: the existing compressed data
+        is read and decompressed, the new bytes are spliced in, and the
+        result is written back *uncompressed* (the range is now in
+        no-compression mode until a full page write re-compresses it).
+        """
+        if offset < 0 or offset + len(data) > DB_PAGE_SIZE:
+            raise ReproError(
+                f"partial write [{offset}, +{len(data)}) outside page bounds"
+            )
+        if not data:
+            raise ReproError("empty partial write")
+        entry = self.index.get(page_no)
+        if entry is None:
+            base = ReadResult(bytes(DB_PAGE_SIZE), start_us, 0, 0.0)
+        else:
+            base = self._read_materialized(start_us, page_no)
+        image = bytearray(base.data)
+        image[offset : offset + len(data)] = data
+        prepared = PreparedWrite(
+            CompressionInfo.UNCOMPRESSED, None, bytes(image),
+            DB_PAGE_SIZE // LBA_SIZE, 0.0,
+        )
+        return self.write_page_local(base.done_us, page_no, prepared)
+
+    def _release_entry(self, entry: Optional[IndexEntry]) -> None:
+        if entry is None:
+            return
+        if entry.status is CompressionInfo.HEAVY:
+            self._maybe_release_segment(entry.segment_id)
+            return
+        self.wal.append_free(entry.lba, entry.n_blocks)
+        self.space.free_blocks(entry.lba, entry.n_blocks * LBA_SIZE)
+        self.data_device.trim(entry.lba, entry.n_blocks * LBA_SIZE)
+
+    def _maybe_release_segment(self, segment_id: int) -> None:
+        """Free a heavy segment once no index entry references it."""
+        for _, entry in self.index.items():
+            if entry.segment_id == segment_id:
+                return
+        try:
+            meta = self.heavy.get(segment_id)
+        except ReproError:
+            return  # already released
+        for piece_lba, piece_blocks in meta.pieces:
+            self.wal.append_free(piece_lba, piece_blocks)
+        self.heavy.release(segment_id)
+
+    # ------------------------------------------------------------------ #
+    # Page read path                                                      #
+    # ------------------------------------------------------------------ #
+
+    def read_page(self, start_us: float, page_no: int) -> ReadResult:
+        """Read and decompress one page, applying pending redo if any."""
+        pending = self.redo_cache.get(page_no) or []
+        spilled = self.log_store.blocks_for(page_no) > 0
+        if not pending and not spilled:
+            result = self._read_materialized(start_us, page_no)
+        else:
+            result = self._consolidate_and_read(start_us, page_no)
+        self.page_read_stats.append(result.done_us - start_us)
+        return result
+
+    def _read_materialized(self, start_us: float, page_no: int) -> ReadResult:
+        cached = self.page_cache.get(page_no)
+        if cached is not None:
+            return ReadResult(cached, start_us, 0, 0.0)
+        entry = self.index.get(page_no)
+        if entry is None:
+            raise ReproError(f"{self.name}: page {page_no} does not exist")
+        if entry.status is CompressionInfo.HEAVY:
+            data, done, cpu = self.heavy.read_page(
+                start_us, entry.segment_id, entry.page_in_segment
+            )
+            self._admit(page_no, data)
+            return ReadResult(data, done + cpu, 1, cpu)
+        completion = self.data_device.read(
+            start_us, entry.lba, entry.n_blocks * LBA_SIZE
+        )
+        payload = completion.data[: entry.payload_len]
+        cpu = 0.0
+        if entry.status is CompressionInfo.NORMAL:
+            data = get_codec(entry.algorithm).decompress(payload)
+            cpu = codec_cost(entry.algorithm).decompress_us(
+                entry.n_blocks * LBA_SIZE
+            )
+            if len(data) != DB_PAGE_SIZE:
+                raise ReproError(
+                    f"{self.name}: page {page_no} decompressed to "
+                    f"{len(data)} bytes"
+                )
+        else:
+            data = payload
+        self._admit(page_no, data)
+        return ReadResult(data, completion.done_us + cpu, 1, cpu)
+
+    def _admit(self, page_no: int, data: bytes) -> None:
+        if self.page_cache.capacity_bytes > 0:
+            self.page_cache.put(page_no, data)
+
+    # ------------------------------------------------------------------ #
+    # Redo path                                                           #
+    # ------------------------------------------------------------------ #
+
+    def persist_redo(self, start_us: float, blob: bytes) -> float:
+        """Durably store a redo batch; returns completion time.
+
+        With Opt#1 the blob goes raw to the performance device.  Without
+        it, the software layer compresses the redo writer's current 16 KB
+        log-buffer window (redo is written in page-sized log blocks, so
+        each commit re-compresses the tail block) and writes it to the
+        data device — the 59 µs → 79 µs regression of Figure 13c.
+        """
+        if self.config.opt_bypass_redo:
+            device = self.perf_device
+            payload = blob
+            cpu = 0.0
+        else:
+            device = self.data_device
+            if self.config.software_compression:
+                # Redo is latency-critical: the software layer uses the
+                # fast codec, but must compress the whole current log
+                # block (16 KB window), not just this batch's bytes.
+                self._redo_log_window += blob
+                if len(self._redo_log_window) > DB_PAGE_SIZE:
+                    del self._redo_log_window[: len(self._redo_log_window)
+                                             - DB_PAGE_SIZE]
+                window = bytes(self._redo_log_window)
+                payload = get_codec("lz4").compress(window)
+                cpu = codec_cost("lz4").compress_us(DB_PAGE_SIZE)
+            else:
+                payload = blob
+                cpu = 0.0
+        nbytes = align_up(max(len(payload), 1), LBA_SIZE)
+        padded = payload + b"\x00" * (nbytes - len(payload))
+        if device is self.perf_device:
+            lba = self._next_perf_lba(nbytes)
+        else:
+            lba = self.space.allocate_blocks(nbytes)
+            self.wal.append_alloc(lba, nbytes // LBA_SIZE)
+            self._track_redo_block(lba, nbytes)
+        completion = device.write(start_us + cpu, lba, padded)
+        self.durable_redo_blobs.append(blob)
+        return completion.done_us
+
+    def _track_redo_block(self, lba: int, nbytes: int) -> None:
+        """Redo on the data device is recycled once pages flush; keep a
+        bounded window of live redo blocks."""
+        self._redo_data_blocks.append((lba, nbytes))
+        while len(self._redo_data_blocks) > self.REDO_DATA_BLOCK_WINDOW:
+            old_lba, old_bytes = self._redo_data_blocks.pop(0)
+            self.wal.append_free(old_lba, old_bytes // LBA_SIZE)
+            self.space.free_blocks(old_lba, old_bytes)
+            self.data_device.trim(old_lba, old_bytes)
+
+    def _next_perf_lba(self, nbytes: int) -> int:
+        lba = self._perf_cursor
+        span = nbytes // LBA_SIZE
+        capacity_blocks = self.perf_device.spec.logical_capacity // LBA_SIZE
+        if lba + span >= capacity_blocks:
+            lba = 0
+            self._perf_cursor = 0
+        self._perf_cursor += span
+        return lba
+
+    def _persist_wal(self, start_us: float) -> float:
+        """Flush pending WAL appends as one 4 KB write to the perf device."""
+        lba = self._next_perf_lba(LBA_SIZE)
+        return self.perf_device.write(start_us, lba, b"\x00" * LBA_SIZE).done_us
+
+    def add_redo(self, start_us: float, records: List[RedoRecord]) -> float:
+        """Cache redo records; spill the overflow to the log store."""
+        now = start_us
+        for record in records:
+            self.redo_cache.setdefault(record.page_no, []).append(record)
+            self._redo_cache_bytes += record.size_bytes
+        while self._redo_cache_bytes > self.config.redo_cache_bytes:
+            now = self._evict_one_page(now)
+        return now
+
+    def _evict_one_page(self, start_us: float) -> float:
+        # Evict the page with the most cached redo bytes (best payoff).
+        page_no = max(
+            self.redo_cache,
+            key=lambda p: sum(r.size_bytes for r in self.redo_cache[p]),
+        )
+        if self._would_overflow_page_log(page_no):
+            # Too much redo for the 4 KB per-page log slot: consolidate
+            # the page instead (the logs fold into the page image).
+            result = self._consolidate_and_read(start_us, page_no)
+            return result.done_us
+        records = self.redo_cache.pop(page_no)
+        self._redo_cache_bytes -= sum(r.size_bytes for r in records)
+        return self.log_store.evict(start_us, records)
+
+    def _would_overflow_page_log(self, page_no: int) -> bool:
+        if not self.config.opt_per_page_log:
+            return False
+        pending = sum(r.size_bytes for r in self.redo_cache.get(page_no, ()))
+        existing = self.log_store.stored_bytes_for(page_no)
+        return pending + existing > LBA_SIZE
+
+    def pending_redo_pages(self) -> List[int]:
+        return list(self.redo_cache)
+
+    # ------------------------------------------------------------------ #
+    # Consolidation                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _consolidate_and_read(self, start_us: float, page_no: int) -> ReadResult:
+        """Materialize a page that has pending redo (Figure 6)."""
+        if self.index.get(page_no) is None:
+            # The page exists only as redo so far: start from a zero image.
+            base = ReadResult(bytes(DB_PAGE_SIZE), start_us, 0, 0.0)
+        else:
+            base = self._read_materialized(start_us, page_no)
+        now = base.done_us
+        io_reads = base.io_reads
+        cpu = base.cpu_us
+
+        fetched = self.log_store.fetch(now, page_no)
+        now = fetched.done_us
+        io_reads += fetched.reads_issued
+
+        records = sorted(fetched.records + self.redo_cache.get(page_no, []))
+        image = apply_records(base.data, records)
+        cpu_apply = REDO_APPLY_US_PER_RECORD * len(records)
+        now += cpu_apply
+        cpu += cpu_apply
+
+        # Write back the materialized page and drop the logs.
+        cached = self.redo_cache.pop(page_no, None)
+        if cached:
+            self._redo_cache_bytes -= sum(r.size_bytes for r in cached)
+        self.log_store.discard(page_no)
+        # §3.3.2: the database layer estimates the updated fraction from
+        # the log size; re-selection only triggers past the 30% gate.
+        update_fraction = min(
+            1.0, sum(len(r.data) for r in records) / DB_PAGE_SIZE
+        )
+        prepared = self.prepare_page(page_no, image, update_percent=update_fraction)
+        applied_lsn = max((r.lsn for r in records), default=0)
+        # The *read* completes once the image is built; the write-back is
+        # background work, so the caller's latency stops at ``now``.
+        self.write_page_local(
+            now + prepared.cpu_us, page_no, prepared, applied_lsn=applied_lsn
+        )
+        self._admit(page_no, image)
+        return ReadResult(image, now, io_reads, cpu, consolidated=True)
+
+    def consolidate_pending(self, start_us: float) -> float:
+        """Background page generation: apply every cached or spilled redo
+        record to its page (what storage nodes do continuously up to
+        LSN\\ :sub:`min`, §2.1).  Returns the completion time."""
+        now = start_us
+        pending = set(self.redo_cache) | set(self.log_store.pages_with_logs())
+        for page_no in sorted(pending):
+            result = self._consolidate_and_read(now, page_no)
+            now = result.done_us
+        return now
+
+    # ------------------------------------------------------------------ #
+    # Heavy compression (archival)                                        #
+    # ------------------------------------------------------------------ #
+
+    def archive_range(self, start_us: float, page_nos: List[int]) -> float:
+        """Recompress ``page_nos`` as one heavy segment (§3.2.3)."""
+        pages: List[bytes] = []
+        now = start_us
+        for page_no in page_nos:
+            result = self.read_page(now, page_no)
+            now = result.done_us
+            pages.append(result.data)
+        meta, now, cpu = self.heavy.archive(now, page_nos, pages)
+        now += cpu
+        self.wal.append_segment(
+            meta.segment_id, meta.compressed_len, meta.pieces, meta.page_nos
+        )
+        for piece_lba, piece_blocks in meta.pieces:
+            self.wal.append_alloc(piece_lba, piece_blocks)
+        for position, page_no in enumerate(page_nos):
+            old_entry = self.index.get(page_no)
+            applied = old_entry.applied_lsn if old_entry else 0
+            old = self.index.put(
+                page_no,
+                IndexEntry(
+                    CompressionInfo.HEAVY,
+                    None,
+                    meta.pieces[0][0],
+                    meta.n_blocks,
+                    meta.compressed_len,
+                    segment_id=meta.segment_id,
+                    page_in_segment=position,
+                    applied_lsn=applied,
+                ),
+            )
+            self._release_entry(old)
+            self.wal.append_index_put(
+                page_no, meta.pieces[0][0], meta.n_blocks, meta.compressed_len,
+                status=_STATUS_IDS[CompressionInfo.HEAVY],
+                algorithm=None,
+                applied_lsn=applied,
+                segment_id=meta.segment_id,
+                page_in_segment=position,
+            )
+        return self._persist_wal(now)
+
+    # ------------------------------------------------------------------ #
+    # Space reporting                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def logical_used_bytes(self) -> int:
+        return self.index.logical_bytes
+
+    @property
+    def device_used_bytes(self) -> int:
+        """4 KB-aligned bytes the software layer occupies on the device."""
+        return self.space.used_bytes
+
+    @property
+    def physical_used_bytes(self) -> int:
+        """NAND bytes actually consumed (CSD) or device bytes (plain SSD)."""
+        return self.data_device.physical_used_bytes
+
+    def compression_ratio(self) -> float:
+        physical = self.physical_used_bytes
+        if physical == 0:
+            return 1.0
+        return self.logical_used_bytes / physical
+
+    def algorithm_distribution(self) -> Dict[str, int]:
+        """Pages per software codec among live normal-compressed entries
+        (the live view behind Table 3)."""
+        counts: Dict[str, int] = {}
+        for _, entry in self.index.items():
+            if entry.status is CompressionInfo.NORMAL:
+                counts[entry.algorithm] = counts.get(entry.algorithm, 0) + 1
+        return counts
+
+    def page_stored_bytes(self, page_no: int) -> int:
+        """Physical bytes attributable to one page (NAND bytes on a CSD,
+        device blocks on a plain SSD; heavy pages share their segment)."""
+        entry = self.index.get(page_no)
+        if entry is None:
+            raise ReproError(f"{self.name}: page {page_no} does not exist")
+        if entry.status is CompressionInfo.HEAVY:
+            meta = self.heavy.get(entry.segment_id)
+            return max(1, meta.stored_bytes // len(meta.page_nos))
+        ftl = getattr(self.data_device, "ftl", None)
+        if ftl is None:
+            return entry.n_blocks * LBA_SIZE
+        return sum(
+            ftl.stored_length(entry.lba + i) for i in range(entry.n_blocks)
+        )

@@ -1,0 +1,122 @@
+"""Simplified Raft-style 3-way replication (§3.2.1).
+
+PolarStore commits a write once the leader and a majority of replicas have
+persisted it.  This module models exactly that commit rule plus the
+network: leadership election and log repair are out of scope (the paper
+never exercises them), but follower failure and quorum loss are modeled so
+the availability behaviour is testable.
+
+Timing: the leader issues the replica RPCs in parallel; each follower
+persists through its own device queue; the commit time is the leader
+persist time joined with the second-fastest follower acknowledgement
+(majority of 3 = leader + 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.common.errors import RaftError
+from repro.common.units import KiB
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Same-cluster RPC cost: fixed one-way latency + per-KiB serialization.
+
+    Defaults model a 25/100 Gbps datacenter network with kernel-bypass
+    I/O: ~18 µs one-way, ~0.04 µs per KiB.
+    """
+
+    one_way_us: float = 18.0
+    per_kib_us: float = 0.04
+
+    def rpc_us(self, payload_bytes: int) -> float:
+        """One-way message cost for ``payload_bytes``."""
+        return self.one_way_us + self.per_kib_us * payload_bytes / KiB
+
+
+#: A persist function: (start_us, payload) -> completion time in µs.
+PersistFn = Callable[[float, bytes], float]
+
+
+class Replica:
+    """One member of the group; ``persist`` writes to its local durable
+    medium (WAL device or data device, injected by the storage node)."""
+
+    def __init__(self, name: str, persist: PersistFn) -> None:
+        self.name = name
+        self.persist = persist
+        self.alive = True
+        self.persisted_count = 0
+
+    def handle_append(self, arrive_us: float, payload: bytes) -> float:
+        if not self.alive:
+            raise RaftError(f"replica {self.name} is down")
+        done = self.persist(arrive_us, payload)
+        self.persisted_count += 1
+        return done
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    commit_us: float
+    leader_persist_us: float
+    follower_acks_us: List[float]
+
+
+class ReplicationGroup:
+    """Leader + followers with majority-commit semantics."""
+
+    def __init__(
+        self,
+        leader: Replica,
+        followers: Sequence[Replica],
+        network: NetworkModel = NetworkModel(),
+    ) -> None:
+        if not followers:
+            raise RaftError("need at least one follower")
+        self.leader = leader
+        self.followers = list(followers)
+        self.network = network
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.followers)
+
+    @property
+    def quorum(self) -> int:
+        return self.size // 2 + 1
+
+    def replicate(self, start_us: float, payload: bytes) -> CommitResult:
+        """Persist ``payload`` on a majority; returns commit timing.
+
+        Raises :class:`RaftError` when too few replicas are alive to form
+        a quorum (counting the leader).
+        """
+        if not self.leader.alive:
+            raise RaftError("leader is down")
+        leader_done = self.leader.handle_append(start_us, payload)
+
+        acks: List[float] = []
+        send_cost = self.network.rpc_us(len(payload))
+        ack_cost = self.network.rpc_us(64)  # small ack message
+        for follower in self.followers:
+            if not follower.alive:
+                continue
+            arrive = start_us + send_cost
+            persisted = follower.handle_append(arrive, payload)
+            acks.append(persisted + ack_cost)
+
+        alive = 1 + len(acks)
+        if alive < self.quorum:
+            raise RaftError(
+                f"no quorum: {alive}/{self.size} alive, need {self.quorum}"
+            )
+        acks.sort()
+        needed_acks = self.quorum - 1  # leader counts toward quorum
+        commit = leader_done
+        if needed_acks > 0:
+            commit = max(commit, acks[needed_acks - 1])
+        return CommitResult(commit, leader_done, acks)

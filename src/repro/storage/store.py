@@ -1,0 +1,294 @@
+"""The PolarStore volume: replicated shared storage behind one facade.
+
+Implements the Figure 4 workflow end-to-end: the leader compresses a page
+into 4 KB-aligned blocks (software layer), replicates the compressed blocks
+to two followers, all three persist (device write + WAL), and the write
+commits at the majority.  Redo writes follow the same replication rule but
+take the Opt#1 path.
+
+The three write modes of §3.2.3 are exposed via :class:`CompressionMode`:
+
+* ``NORMAL`` — default dual-layer compression (page-aligned I/O only;
+  non-aligned writes silently fall back to ``NONE`` as in the paper);
+* ``NONE``  — bypass software compression;
+* ``HEAVY`` — archive an existing page range as one high-ratio segment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.errors import RaftError, ReproError
+from repro.common.units import DB_PAGE_SIZE, MiB
+from repro.csd.device import BlockDevice, PlainSSD, PolarCSD
+from repro.csd.specs import (
+    DeviceSpec,
+    OPTANE_P5800X,
+    POLARCSD2,
+)
+from repro.storage.node import NodeConfig, PreparedWrite, ReadResult, StorageNode
+from repro.storage.raft import NetworkModel
+from repro.storage.redo import RedoRecord, encode_records
+
+_node_counter = itertools.count()
+
+
+class CompressionMode(enum.Enum):
+    NORMAL = "normal"
+    NONE = "none"
+    HEAVY = "heavy"
+
+
+@dataclass(frozen=True)
+class CommittedWrite:
+    """A replicated page write."""
+
+    commit_us: float
+    prepared: PreparedWrite
+
+
+def build_node(
+    name: str,
+    config: NodeConfig,
+    data_spec: DeviceSpec = POLARCSD2,
+    perf_spec: DeviceSpec = OPTANE_P5800X,
+    volume_bytes: int = 256 * MiB,
+    physical_bytes: Optional[int] = None,
+    seed: int = 0,
+    inject_faults: bool = False,
+    parallelism: int = 8,
+) -> StorageNode:
+    """Construct a storage node with simulation-sized devices.
+
+    ``volume_bytes`` replaces the spec's multi-TB logical capacity so the
+    allocator and FTL operate at laptop scale; latency constants are
+    untouched.  ``parallelism`` models the 10-12 drives a storage server
+    actually stripes across (the paper's nodes are never single-disk).
+    """
+    if physical_bytes is None:
+        # Preserve the spec's logical:physical provisioning ratio.
+        ratio = data_spec.physical_capacity / data_spec.logical_capacity
+        physical_bytes = max(8 * MiB, int(volume_bytes * ratio * 2))
+    sized = dataclasses.replace(
+        data_spec,
+        logical_capacity=volume_bytes,
+        physical_capacity=physical_bytes,
+    )
+    if sized.has_compression:
+        data_device: BlockDevice = PolarCSD(
+            sized, seed=seed, inject_faults=inject_faults,
+            block_capacity=1 * MiB, parallelism=parallelism,
+        )
+    else:
+        data_device = PlainSSD(
+            sized, seed=seed, inject_faults=inject_faults,
+            parallelism=parallelism,
+        )
+    perf_sized = dataclasses.replace(
+        perf_spec, logical_capacity=max(volume_bytes // 4, 8 * MiB)
+    )
+    perf_device = PlainSSD(perf_sized, seed=seed + 1, parallelism=2)
+    return StorageNode(name, config, data_device, perf_device)
+
+
+class PolarStore:
+    """A replicated volume: one leader node plus ``replicas - 1`` followers."""
+
+    def __init__(
+        self,
+        config: Optional[NodeConfig] = None,
+        data_spec: DeviceSpec = POLARCSD2,
+        perf_spec: DeviceSpec = OPTANE_P5800X,
+        volume_bytes: int = 256 * MiB,
+        replicas: int = 3,
+        network: NetworkModel = NetworkModel(),
+        seed: int = 0,
+        inject_faults: bool = False,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.config = config if config is not None else NodeConfig()
+        self.network = network
+        base = next(_node_counter) * 100
+        self.nodes: List[StorageNode] = [
+            build_node(
+                f"node-{base + i}",
+                self.config,
+                data_spec,
+                perf_spec,
+                volume_bytes,
+                seed=seed + i * 7,
+                inject_faults=inject_faults,
+            )
+            for i in range(replicas)
+        ]
+        self._alive = [True] * replicas
+        self.redo_commit_stats: List[float] = []
+        self.page_write_commit_stats: List[float] = []
+
+    @property
+    def leader(self) -> StorageNode:
+        return self.nodes[0]
+
+    @property
+    def quorum(self) -> int:
+        return len(self.nodes) // 2 + 1
+
+    def fail_node(self, index: int) -> None:
+        if index == 0:
+            raise ReproError("leader failover is out of scope")
+        self._alive[index] = False
+
+    def recover_node(self, index: int) -> None:
+        self._alive[index] = True
+
+    # ------------------------------------------------------------------ #
+    # Write path                                                          #
+    # ------------------------------------------------------------------ #
+
+    def write_page(
+        self,
+        start_us: float,
+        page_no: int,
+        data: bytes,
+        mode: CompressionMode = CompressionMode.NORMAL,
+        cpu_utilization: float = 0.0,
+        update_percent: float = 1.0,
+        force_codec: Optional[str] = None,
+    ) -> CommittedWrite:
+        """Figure 4 steps 1–4: compress, replicate, persist, commit."""
+        if mode is CompressionMode.HEAVY:
+            raise ReproError("use archive_range() for heavy compression")
+        if mode is CompressionMode.NONE or len(data) != DB_PAGE_SIZE:
+            # Non-page-aligned I/O automatically reverts to no-compression.
+            prepared = self._raw_prepared(data)
+        else:
+            prepared = self.leader.prepare_page(
+                page_no, data, cpu_utilization, update_percent, force_codec
+            )
+
+        after_compress = start_us + prepared.cpu_us
+        commit = self._replicate_page(after_compress, page_no, prepared)
+        self.page_write_commit_stats.append(commit - start_us)
+        return CommittedWrite(commit, prepared)
+
+    @staticmethod
+    def _raw_prepared(data: bytes) -> PreparedWrite:
+        from repro.common.units import LBA_SIZE, ceil_div
+        from repro.storage.index import CompressionInfo
+
+        return PreparedWrite(
+            CompressionInfo.UNCOMPRESSED,
+            None,
+            data,
+            max(1, ceil_div(len(data), LBA_SIZE)),
+            0.0,
+        )
+
+    def _replicate_page(
+        self, start_us: float, page_no: int, prepared: PreparedWrite
+    ) -> float:
+        leader_done = self.leader.write_page_local(start_us, page_no, prepared).done_us
+        send = self.network.rpc_us(len(prepared.payload))
+        ack = self.network.rpc_us(64)
+        acks: List[float] = []
+        for i, node in enumerate(self.nodes[1:], start=1):
+            if not self._alive[i]:
+                continue
+            done = node.write_page_local(start_us + send, page_no, prepared).done_us
+            acks.append(done + ack)
+        return self._commit_time(leader_done, acks)
+
+    def _commit_time(self, leader_done: float, acks: List[float]) -> float:
+        alive = 1 + len(acks)
+        if alive < self.quorum:
+            raise RaftError(f"no quorum: {alive}/{len(self.nodes)} alive")
+        acks.sort()
+        needed = self.quorum - 1
+        commit = leader_done
+        if needed > 0:
+            commit = max(commit, acks[needed - 1])
+        return commit
+
+    def write_partial(
+        self, start_us: float, page_no: int, offset: int, data: bytes
+    ) -> float:
+        """Replicated non-page-aligned write (no-compression mode rule:
+        decompress existing, splice, store uncompressed)."""
+        leader_done = self.leader.write_partial(
+            start_us, page_no, offset, data
+        ).done_us
+        send = self.network.rpc_us(len(data))
+        ack = self.network.rpc_us(64)
+        acks = []
+        for i, node in enumerate(self.nodes[1:], start=1):
+            if not self._alive[i]:
+                continue
+            done = node.write_partial(start_us + send, page_no, offset, data).done_us
+            acks.append(done + ack)
+        return self._commit_time(leader_done, acks)
+
+    def write_redo(
+        self, start_us: float, records: Sequence[RedoRecord]
+    ) -> float:
+        """Replicated redo persistence (the transaction-commit path)."""
+        blob = encode_records(records)
+        leader_done = self.leader.persist_redo(start_us, blob)
+        send = self.network.rpc_us(len(blob))
+        ack = self.network.rpc_us(64)
+        acks = []
+        for i, node in enumerate(self.nodes[1:], start=1):
+            if not self._alive[i]:
+                continue
+            acks.append(node.persist_redo(start_us + send, blob) + ack)
+        commit = self._commit_time(leader_done, acks)
+        # Records enter every replica's redo cache for later consolidation.
+        for i, node in enumerate(self.nodes):
+            if self._alive[i]:
+                node.add_redo(commit, list(records))
+        self.redo_commit_stats.append(commit - start_us)
+        return commit
+
+    def archive_range(self, start_us: float, page_nos: List[int]) -> float:
+        """Heavy-compress a page range on every replica."""
+        done = start_us
+        for i, node in enumerate(self.nodes):
+            if self._alive[i]:
+                done = max(done, node.archive_range(start_us, list(page_nos)))
+        return done
+
+    def checkpoint(self, start_us: float) -> float:
+        """Consolidate every pending redo page on all alive replicas."""
+        done = start_us
+        for i, node in enumerate(self.nodes):
+            if self._alive[i]:
+                done = max(done, node.consolidate_pending(start_us))
+        return done
+
+    # ------------------------------------------------------------------ #
+    # Read path                                                           #
+    # ------------------------------------------------------------------ #
+
+    def read_page(self, start_us: float, page_no: int) -> ReadResult:
+        """Reads are served by the leader (compute nodes pick a replica;
+        using the leader keeps the simulation deterministic)."""
+        return self.leader.read_page(start_us, page_no)
+
+    # ------------------------------------------------------------------ #
+    # Space                                                               #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def logical_used_bytes(self) -> int:
+        return self.leader.logical_used_bytes
+
+    @property
+    def physical_used_bytes(self) -> int:
+        return self.leader.physical_used_bytes
+
+    def compression_ratio(self) -> float:
+        return self.leader.compression_ratio()

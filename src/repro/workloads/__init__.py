@@ -1,0 +1,22 @@
+"""Workload generation: domain datasets, fio-style buffers, sysbench OLTP."""
+
+from repro.workloads.datagen import DATASETS, DatasetSpec, dataset_pages, dataset_rows
+from repro.workloads.fio import buffer_with_ratio
+from repro.workloads.sysbench import (
+    SYSBENCH_WORKLOADS,
+    SysbenchResult,
+    run_sysbench,
+)
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_pages",
+    "dataset_rows",
+    "buffer_with_ratio",
+    "SYSBENCH_WORKLOADS",
+    "SysbenchResult",
+    "run_sysbench",
+    "ZipfSampler",
+]

@@ -1,0 +1,69 @@
+"""fio-style buffers with a target compression ratio.
+
+Figure 7 drives devices with FIO configured for target compression ratios
+1.0–4.0.  FIO achieves this by mixing incompressible random data with
+compressible filler inside each block; we reproduce that and calibrate the
+mix against the actual hardware-gzip transform (zlib level 5) so that a
+"ratio 3.0" buffer really compresses ~3.0× in the simulated device.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict
+
+from repro.common.units import KiB
+
+_BLOCK = 4 * KiB
+_CALIBRATION_CACHE: Dict[float, float] = {}
+
+
+def _block_with_fill(fill_fraction: float, rng: random.Random) -> bytes:
+    """One 4 KiB block: ``fill_fraction`` repeated filler + random tail."""
+    n_fill = int(_BLOCK * fill_fraction)
+    filler = (b"\x00\x11\x22\x33" * (_BLOCK // 4))[:n_fill]
+    tail = rng.randbytes(_BLOCK - n_fill)
+    return filler + tail
+
+
+def _measured_ratio(fill_fraction: float, seed: int = 1234) -> float:
+    rng = random.Random(seed)
+    total = 0
+    compressed = 0
+    for _ in range(8):
+        block = _block_with_fill(fill_fraction, rng)
+        total += len(block)
+        compressed += min(len(zlib.compress(block, 5)), len(block))
+    return total / compressed
+
+
+def fill_fraction_for_ratio(target_ratio: float) -> float:
+    """Binary-search the filler fraction yielding ``target_ratio``."""
+    if target_ratio < 1.0:
+        raise ValueError(f"ratio must be >= 1.0, got {target_ratio}")
+    key = round(target_ratio, 3)
+    if key in _CALIBRATION_CACHE:
+        return _CALIBRATION_CACHE[key]
+    if target_ratio <= 1.005:
+        _CALIBRATION_CACHE[key] = 0.0
+        return 0.0
+    lo, hi = 0.0, 1.0
+    for _ in range(24):
+        mid = (lo + hi) / 2
+        if _measured_ratio(mid) < target_ratio:
+            lo = mid
+        else:
+            hi = mid
+    _CALIBRATION_CACHE[key] = hi
+    return hi
+
+
+def buffer_with_ratio(target_ratio: float, size: int, seed: int = 0) -> bytes:
+    """A ``size``-byte buffer (4 KiB-aligned) compressing ~``target_ratio``
+    under the hardware gzip transform."""
+    if size % _BLOCK:
+        raise ValueError(f"size {size} not 4 KiB-aligned")
+    fraction = fill_fraction_for_ratio(target_ratio)
+    rng = random.Random(seed)
+    return b"".join(_block_with_fill(fraction, rng) for _ in range(size // _BLOCK))

@@ -1,0 +1,232 @@
+"""A sysbench-like OLTP driver over the simulated PolarDB.
+
+Implements the seven workloads of Figure 12 (I, P-S, RO, RW, WO, U-I,
+U-NI) with sysbench's transaction shapes: OLTP-Read-Only is 10 point
+selects + 4 range scans; Read-Write adds the write mix; Write-Only is the
+write mix alone; Update-Index rewrites an indexed column (modelled as
+delete+insert, which touches tree structure); Update-Non-Index overwrites
+a payload column in place.
+
+``threads`` client threads are simulated with an event heap: each thread
+issues its next transaction when its previous one completes, so device
+queueing and CPU costs shape throughput exactly as concurrency grows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.common.latency import LatencyStats
+from repro.workloads.zipf import ZipfSampler
+
+#: sysbench's c-column: digits + fixed padding, moderately compressible.
+_PAD = b"-" * 40
+
+
+def default_value(rng: random.Random, key: int) -> bytes:
+    return b"sbtest|%010d|%020d|%s|%020d\n" % (
+        key,
+        rng.randrange(10**19),
+        _PAD,
+        rng.randrange(10**19),
+    )
+
+
+@dataclass
+class _TxnContext:
+    db: object
+    table: str
+    rng: random.Random
+    sampler: ZipfSampler
+    fresh_key: Callable[[], int]
+    ro_index: int = -1  # -1: reads go to the RW node
+
+    def pick_key(self) -> int:
+        return int(self.sampler.one())
+
+    def select(self, now: float, key: int) -> float:
+        return self.db.select(now, self.table, key, ro_index=self.ro_index).done_us
+
+    def range_scan(self, now: float, key: int, span: int = 20) -> float:
+        return self.db.range_select(now, self.table, key, key + span).done_us
+
+    def update_non_index(self, now: float, key: int) -> float:
+        value = default_value(self.rng, key)
+        try:
+            return self.db.update(now, self.table, key, value).done_us
+        except Exception:
+            return self.db.insert(now, self.table, key, value).done_us
+
+    def update_index(self, now: float, key: int) -> float:
+        """Index-column update: reposition the row (delete + insert)."""
+        try:
+            now = self.db.delete(now, self.table, key).done_us
+        except Exception:
+            pass
+        try:
+            return self.db.insert(
+                now, self.table, key, default_value(self.rng, key)
+            ).done_us
+        except Exception:
+            return self.update_non_index(now, key)
+
+    def insert_fresh(self, now: float) -> float:
+        key = self.fresh_key()
+        return self.db.insert(
+            now, self.table, key, default_value(self.rng, key)
+        ).done_us
+
+    def delete_insert(self, now: float, key: int) -> float:
+        return self.update_index(now, key)
+
+
+def _txn_insert(ctx: _TxnContext, now: float) -> float:
+    return ctx.insert_fresh(now)
+
+
+def _txn_point_select(ctx: _TxnContext, now: float) -> float:
+    return ctx.select(now, ctx.pick_key())
+
+
+def _txn_read_only(ctx: _TxnContext, now: float) -> float:
+    for _ in range(10):
+        now = ctx.select(now, ctx.pick_key())
+    for _ in range(4):
+        now = ctx.range_scan(now, ctx.pick_key())
+    return now
+
+
+def _txn_write_mix(ctx: _TxnContext, now: float) -> float:
+    now = ctx.update_index(now, ctx.pick_key())
+    now = ctx.update_non_index(now, ctx.pick_key())
+    now = ctx.delete_insert(now, ctx.pick_key())
+    return now
+
+
+def _txn_read_write(ctx: _TxnContext, now: float) -> float:
+    now = _txn_read_only(ctx, now)
+    return _txn_write_mix(ctx, now)
+
+
+def _txn_write_only(ctx: _TxnContext, now: float) -> float:
+    return _txn_write_mix(ctx, now)
+
+
+def _txn_update_index(ctx: _TxnContext, now: float) -> float:
+    return ctx.update_index(now, ctx.pick_key())
+
+
+def _txn_update_non_index(ctx: _TxnContext, now: float) -> float:
+    return ctx.update_non_index(now, ctx.pick_key())
+
+
+SYSBENCH_WORKLOADS: Dict[str, Callable[[_TxnContext, float], float]] = {
+    "insert": _txn_insert,
+    "point_select": _txn_point_select,
+    "read_only": _txn_read_only,
+    "read_write": _txn_read_write,
+    "write_only": _txn_write_only,
+    "update_index": _txn_update_index,
+    "update_non_index": _txn_update_non_index,
+}
+
+#: Paper-figure labels.
+WORKLOAD_LABELS = {
+    "insert": "I",
+    "point_select": "P-S",
+    "read_only": "RO",
+    "read_write": "RW",
+    "write_only": "WO",
+    "update_index": "U-I",
+    "update_non_index": "U-NI",
+}
+
+
+@dataclass
+class SysbenchResult:
+    workload: str
+    threads: int
+    transactions: int
+    duration_s: float
+    #: Actual simulated span covered (start of first txn to end of last);
+    #: differs from ``duration_s`` when a transaction cap cut the run short.
+    elapsed_s: float = 0.0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def tps(self) -> float:
+        span = self.elapsed_s if self.elapsed_s > 0 else self.duration_s
+        if span <= 0:
+            return 0.0
+        return self.transactions / span
+
+    @property
+    def avg_latency_us(self) -> float:
+        return self.latency.mean_us
+
+    @property
+    def p95_latency_us(self) -> float:
+        return self.latency.p95_us if self.latency.count else 0.0
+
+
+def prepare_table(
+    db, table: str = "sbtest", rows: int = 2000, seed: int = 0
+) -> float:
+    """Create and load the sysbench table; returns the load finish time."""
+    rng = random.Random(seed)
+    db.create_table(table)
+    data = [(key, default_value(rng, key)) for key in range(rows)]
+    done = db.bulk_load(0.0, table, data)
+    return db.checkpoint(done)
+
+
+def run_sysbench(
+    db,
+    workload: str,
+    duration_s: float = 2.0,
+    threads: int = 16,
+    table: str = "sbtest",
+    key_range: int = 2000,
+    start_us: float = 0.0,
+    seed: int = 0,
+    zipf_s: float = 0.6,
+    ro_index: int = -1,
+    max_transactions: Optional[int] = None,
+) -> SysbenchResult:
+    """Run one workload for ``duration_s`` of *simulated* time."""
+    if workload not in SYSBENCH_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {workload!r}; options: {sorted(SYSBENCH_WORKLOADS)}"
+        )
+    txn = SYSBENCH_WORKLOADS[workload]
+    rng = random.Random(seed)
+    fresh = iter(range(key_range + 1_000_000, 10**9))
+    ctx = _TxnContext(
+        db=db,
+        table=table,
+        rng=rng,
+        sampler=ZipfSampler(key_range, s=zipf_s, seed=seed),
+        fresh_key=lambda: next(fresh),
+        ro_index=ro_index,
+    )
+    horizon = start_us + duration_s * 1e6
+    result = SysbenchResult(workload, threads, 0, duration_s)
+    heap = [(start_us, tid) for tid in range(threads)]
+    heapq.heapify(heap)
+    last_done = start_us
+    while heap:
+        now, tid = heapq.heappop(heap)
+        if now >= horizon:
+            continue
+        if max_transactions is not None and result.transactions >= max_transactions:
+            break
+        done = txn(ctx, now)
+        result.latency.record(done - now)
+        result.transactions += 1
+        last_done = max(last_done, done)
+        heapq.heappush(heap, (done, tid))
+    result.elapsed_s = max(last_done - start_us, 0.0) / 1e6
+    return result

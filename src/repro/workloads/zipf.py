@@ -1,0 +1,36 @@
+"""Bounded Zipf sampling for skewed key access."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Draws integers in [0, n) with Zipf(s) popularity.
+
+    Uses the inverse-CDF method over the exact finite distribution, so
+    there is no rejection loop and the skew parameter may be any s >= 0
+    (s=0 degenerates to uniform).
+    """
+
+    def __init__(self, n: int, s: float = 0.99, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError(f"need a positive population, got {n}")
+        if s < 0:
+            raise ValueError(f"skew must be non-negative, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = np.random.default_rng(seed)
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        # Popularity rank -> item: shuffle so hot keys are spread around.
+        self._ranks = self._rng.permutation(n)
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        uniform = self._rng.random(count)
+        ranks = np.searchsorted(self._cdf, uniform)
+        return self._ranks[ranks]
+
+    def one(self) -> int:
+        return int(self.sample(1)[0])

@@ -1,0 +1,60 @@
+"""Bench harness: table rendering and persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    render_table,
+    save_result,
+)
+
+
+def sample():
+    result = ExperimentResult(
+        "unit_test_experiment", "a test table", ["name", "value", "big"],
+    )
+    result.add("alpha", 1.2345, 123456.0)
+    result.add("beta", 0.00042, 2.0)
+    result.note("a note")
+    return result
+
+
+def test_add_validates_arity():
+    result = sample()
+    with pytest.raises(ValueError):
+        result.add("only-one")
+
+
+def test_render_contains_all_cells_and_notes():
+    text = render_table(sample())
+    assert "unit_test_experiment" in text
+    assert "alpha" in text and "beta" in text
+    assert "1.23" in text
+    assert "123,456" in text  # thousands formatting
+    assert "0.00042" in text  # small-number formatting
+    assert "note: a note" in text
+
+
+def test_render_empty_table():
+    result = ExperimentResult("empty", "no rows", ["a", "b"])
+    text = render_table(result)
+    assert "empty" in text
+
+
+def test_save_result_round_trips(tmp_path):
+    path = save_result(sample(), directory=str(tmp_path))
+    assert os.path.exists(path)
+    with open(path.replace(".txt", ".json")) as handle:
+        data = json.load(handle)
+    assert data["experiment"] == "unit_test_experiment"
+    assert data["rows"][0][0] == "alpha"
+    assert data["notes"] == ["a note"]
+
+
+def test_to_dict_shape():
+    data = sample().to_dict()
+    assert set(data) == {"experiment", "description", "columns", "rows",
+                         "notes"}

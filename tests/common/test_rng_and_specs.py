@@ -1,0 +1,70 @@
+"""Deterministic RNG helpers and device-spec arithmetic."""
+
+import pytest
+
+from repro.common.rng import derive_seed, make_rng
+from repro.common.units import KiB, TiB
+from repro.csd.specs import (
+    OPTANE_P4800X,
+    OPTANE_P5800X,
+    P4510,
+    P5510,
+    POLARCSD1,
+    POLARCSD2,
+)
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    a = derive_seed(42, "ftl", 0)
+    b = derive_seed(42, "ftl", 0)
+    c = derive_seed(42, "ftl", 1)
+    d = derive_seed(43, "ftl", 0)
+    assert a == b
+    assert len({a, c, d}) == 3
+    assert 0 <= a < 2**63
+
+
+def test_make_rng_streams_are_independent():
+    rng_a = make_rng(7, "device", 1)
+    rng_b = make_rng(7, "device", 2)
+    seq_a = [rng_a.random() for _ in range(5)]
+    seq_b = [rng_b.random() for _ in range(5)]
+    assert seq_a != seq_b
+    fresh = make_rng(7, "device", 1)
+    assert seq_a == [fresh.random() for _ in range(5)]
+
+
+def test_spec_latency_helpers_scale_linearly():
+    assert P5510.transfer_us(32 * KiB) == pytest.approx(
+        2 * P5510.transfer_us(16 * KiB)
+    )
+    assert P4510.nand_read_us(16 * KiB) > 0
+    assert POLARCSD2.nand_write_us(8 * KiB) == pytest.approx(
+        POLARCSD2.nand_write_us_per_kib * 8
+    )
+
+
+def test_capacity_provisioning_matches_paper():
+    # §3.2.2: gen-1 exposes 7.68 TB logical over >=3.2 TB NAND (ratio 2.4).
+    assert POLARCSD1.logical_capacity == int(7.68 * TiB)
+    assert POLARCSD1.physical_capacity == int(3.20 * TiB)
+    assert POLARCSD1.logical_capacity / POLARCSD1.physical_capacity == (
+        pytest.approx(2.4)
+    )
+    # §4.1.2: gen-2 grows NAND to 3.84 TB and exposes 9.6 TB (still 2.5x).
+    assert POLARCSD2.logical_capacity == int(9.60 * TiB)
+    assert POLARCSD2.physical_capacity == int(3.84 * TiB)
+
+
+def test_compression_flags():
+    assert POLARCSD1.has_compression and POLARCSD1.host_managed_ftl
+    assert POLARCSD2.has_compression and not POLARCSD2.host_managed_ftl
+    for spec in (P4510, P5510, OPTANE_P4800X, OPTANE_P5800X):
+        assert not spec.has_compression
+
+
+def test_pcie_generations():
+    assert P4510.pcie_gen == POLARCSD1.pcie_gen == 3
+    assert P5510.pcie_gen == POLARCSD2.pcie_gen == OPTANE_P5800X.pcie_gen == 4
+    # Gen-4 transfer is faster per KiB.
+    assert P5510.transfer_us_per_kib < P4510.transfer_us_per_kib

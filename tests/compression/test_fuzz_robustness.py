@@ -1,0 +1,75 @@
+"""Decoder robustness: malformed payloads must fail cleanly, never hang
+or raise unexpected exception types (storage treats these as corruption).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptionError
+from repro.compression.base import get_codec
+
+_EXPECTED = (CorruptionError, ValueError, IndexError, KeyError)
+
+
+@given(st.binary(min_size=0, max_size=512))
+@settings(max_examples=300, deadline=None)
+def test_lz4_decoder_never_crashes_unexpectedly(payload):
+    codec = get_codec("lz4")
+    try:
+        codec.decompress(payload)
+    except _EXPECTED:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=512))
+@settings(max_examples=300, deadline=None)
+def test_zstd_decoder_never_crashes_unexpectedly(payload):
+    codec = get_codec("zstd")
+    try:
+        codec.decompress(payload)
+    except _EXPECTED:
+        pass
+
+
+@given(st.binary(min_size=64, max_size=1024), st.integers(0, 10_000))
+@settings(max_examples=150, deadline=None)
+def test_zstd_bitflip_detected_or_consistent(data, flip_seed):
+    """Flipping bytes of a valid payload either raises a clean error or
+    yields *some* bytes — never an unexpected exception."""
+    codec = get_codec("zstd")
+    payload = bytearray(codec.compress(data))
+    rng = random.Random(flip_seed)
+    for _ in range(3):
+        payload[rng.randrange(len(payload))] ^= 1 << rng.randrange(8)
+    try:
+        codec.decompress(bytes(payload))
+    except _EXPECTED:
+        pass
+
+
+@given(st.binary(min_size=64, max_size=1024))
+@settings(max_examples=100, deadline=None)
+def test_truncated_payloads_fail_cleanly(data):
+    for codec_name in ("lz4", "zstd"):
+        codec = get_codec(codec_name)
+        payload = codec.compress(data)
+        for cut in (1, len(payload) // 2, len(payload) - 1):
+            if cut >= len(payload):
+                continue
+            try:
+                out = codec.decompress(payload[:cut])
+                # lz4 has no length framing: a truncation can decode to a
+                # prefix; that is acceptable, silent *extension* is not.
+                assert len(out) <= len(data)
+            except _EXPECTED:
+                pass
+
+
+def test_hw_gzip_rejects_garbage_cleanly():
+    device = get_codec("hw-gzip")
+    for blob in (b"", b"\x00", b"garbage" * 10):
+        with pytest.raises(CorruptionError):
+            device.decompress(blob)

@@ -1,0 +1,129 @@
+"""Canonical Huffman coder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.huffman import (
+    MAX_CODE_LENGTH,
+    BitReader,
+    BitWriter,
+    HuffmanDecoder,
+    HuffmanEncoder,
+    TableDecoder,
+    canonical_codes,
+    code_lengths,
+)
+
+
+def test_bit_writer_reader_round_trip():
+    writer = BitWriter()
+    values = [(0b101, 3), (0b1, 1), (0xABC, 12), (0, 5)]
+    for code, length in values:
+        writer.write(code, length)
+    reader = BitReader(writer.getvalue())
+    for code, length in values:
+        assert reader.read(length) == code
+
+
+def test_code_lengths_empty_and_single():
+    assert code_lengths([0, 0, 0]) == [0, 0, 0]
+    assert code_lengths([0, 5, 0]) == [0, 1, 0]
+
+
+def test_code_lengths_two_symbols():
+    lengths = code_lengths([3, 7])
+    assert lengths == [1, 1]
+
+
+def test_frequent_symbols_get_shorter_codes():
+    freqs = [1000, 100, 10, 1]
+    lengths = code_lengths(freqs)
+    assert lengths[0] <= lengths[1] <= lengths[2] <= lengths[3]
+
+
+def test_lengths_respect_limit_on_skewed_distribution():
+    # Fibonacci-like frequencies force deep Huffman trees.
+    freqs = [1]
+    for _ in range(40):
+        freqs.append(freqs[-1] + (freqs[-2] if len(freqs) > 1 else 1))
+    lengths = code_lengths(freqs)
+    assert max(lengths) <= MAX_CODE_LENGTH
+    assert all(length > 0 for length in lengths)
+
+
+def test_kraft_inequality_holds():
+    rng = random.Random(3)
+    freqs = [rng.randint(0, 1000) for _ in range(256)]
+    lengths = code_lengths(freqs)
+    kraft = sum(2.0 ** -length for length in lengths if length)
+    assert kraft <= 1.0 + 1e-9
+
+
+def test_canonical_codes_are_prefix_free():
+    freqs = [10, 20, 30, 40, 5, 1]
+    codes = canonical_codes(code_lengths(freqs))
+    rendered = [format(c, f"0{l}b") for c, l in codes.values()]
+    for i, a in enumerate(rendered):
+        for j, b in enumerate(rendered):
+            if i != j:
+                assert not b.startswith(a)
+
+
+def _round_trip(symbols, alphabet=256):
+    freqs = [0] * alphabet
+    for sym in symbols:
+        freqs[sym] += 1
+    lengths = code_lengths(freqs)
+    writer = BitWriter()
+    HuffmanEncoder(lengths).encode_into(writer, symbols)
+    stream = writer.getvalue()
+
+    reader = BitReader(stream + b"\x00\x00")
+    decoder = HuffmanDecoder(lengths)
+    slow = [decoder.decode_one(reader) for _ in symbols]
+    fast = TableDecoder(lengths).decode_all(stream, len(symbols))
+    return slow, fast
+
+
+def test_encoder_decoder_round_trip_text():
+    symbols = list(b"the quick brown fox jumps over the lazy dog" * 20)
+    slow, fast = _round_trip(symbols)
+    assert slow == symbols
+    assert fast == symbols
+
+
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=2000))
+@settings(max_examples=100, deadline=None)
+def test_round_trip_random_symbols(symbols):
+    slow, fast = _round_trip(symbols)
+    assert slow == symbols
+    assert fast == symbols
+
+
+def test_table_decoder_rejects_garbage():
+    lengths = code_lengths([5, 5])  # two symbols, 1-bit codes
+    decoder = TableDecoder([0] * 256)  # table with no valid codes
+    with pytest.raises(ValueError):
+        decoder.decode_all(b"\xff", 1)
+    # and a valid decoder cannot decode more symbols than the stream holds
+    # without hitting padding (which decodes deterministically) — verify the
+    # real decoder at least decodes the right count.
+    writer = BitWriter()
+    HuffmanEncoder(lengths).encode_into(writer, [0, 1, 0])
+    out = TableDecoder(lengths).decode_all(writer.getvalue(), 3)
+    assert out == [0, 1, 0]
+
+
+def test_compression_beats_raw_for_skewed_data():
+    rng = random.Random(11)
+    symbols = rng.choices(range(8), weights=[100, 50, 20, 10, 5, 2, 1, 1], k=5000)
+    freqs = [0] * 256
+    for sym in symbols:
+        freqs[sym] += 1
+    lengths = code_lengths(freqs)
+    writer = BitWriter()
+    HuffmanEncoder(lengths).encode_into(writer, symbols)
+    assert len(writer.getvalue()) < len(symbols) / 2

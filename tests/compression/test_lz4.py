@@ -1,0 +1,99 @@
+"""LZ4 block codec: round-trips, format rules, and malformed input."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptionError
+from repro.compression.lz4 import LZ4Codec
+
+codec = LZ4Codec()
+
+
+@pytest.mark.parametrize(
+    "data",
+    [
+        b"",
+        b"a",
+        b"abcd",
+        b"hello world " * 100,
+        b"\x00" * 10000,
+        bytes(range(256)) * 8,
+        b"abcabcabcabcabcabcabcabc",
+    ],
+)
+def test_round_trip_known_inputs(data):
+    assert codec.decompress(codec.compress(data)) == data
+
+
+def test_compresses_redundant_data():
+    data = b"the quick brown fox jumps over the lazy dog. " * 200
+    compressed = codec.compress(data)
+    assert len(compressed) < len(data) / 4
+    assert codec.decompress(compressed) == data
+
+
+def test_incompressible_data_expands_only_slightly():
+    data = random.Random(1).randbytes(16 * 1024)
+    compressed = codec.compress(data)
+    # LZ4 worst case is input + input/255 + small constant.
+    assert len(compressed) <= len(data) + len(data) // 255 + 16
+    assert codec.decompress(compressed) == data
+
+
+def test_overlapping_match_round_trip():
+    # Distance 1 copies (RLE-style) exercise the overlap rule.
+    data = b"x" + b"y" * 1000 + b"z"
+    assert codec.decompress(codec.compress(data)) == data
+
+
+def test_no_entropy_coding_leaves_literals_verbatim():
+    # A block of unique literals must appear inside the compressed output
+    # unchanged: LZ4 does not transform literal bytes.
+    data = bytes(range(64))
+    compressed = codec.compress(data)
+    assert data in compressed
+
+
+@given(st.binary(min_size=0, max_size=4096))
+@settings(max_examples=200, deadline=None)
+def test_round_trip_random(data):
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@given(st.integers(0, 2**32 - 1), st.binary(min_size=1, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_round_trip_repeating(seed, unit):
+    rng = random.Random(seed)
+    data = unit * rng.randint(1, 200)
+    assert codec.decompress(codec.compress(data)) == data
+
+
+def test_decompress_rejects_zero_offset():
+    # token: 0 literals + match, then offset 0x0000.
+    payload = bytes([0x00, 0x00, 0x00])
+    with pytest.raises(CorruptionError):
+        codec.decompress(payload)
+
+
+def test_decompress_rejects_truncated_literals():
+    payload = bytes([0xF0])  # claims 15+ext literals but stream ends
+    with pytest.raises(CorruptionError):
+        codec.decompress(payload)
+
+
+def test_decompress_rejects_offset_before_start():
+    # one literal 'A', then a match with offset 5 (> output so far).
+    payload = bytes([0x10, ord("A"), 0x05, 0x00])
+    with pytest.raises(CorruptionError):
+        codec.decompress(payload)
+
+
+def test_last_five_bytes_are_literals():
+    data = b"abcdefgh" * 64
+    compressed = codec.compress(data)
+    # The final sequence must be literal-only: the last 5 bytes of the
+    # input appear verbatim at the end of the compressed block.
+    assert compressed.endswith(data[-5:]) or compressed.endswith(data)

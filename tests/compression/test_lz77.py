@@ -1,0 +1,67 @@
+"""LZ77 match finder invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lz77 import MIN_MATCH, MatchFinder, reconstruct
+
+
+def _finders():
+    return [
+        MatchFinder(),  # lz4-style greedy
+        MatchFinder(max_chain=64, lazy=True),  # zstd-style lazy
+        MatchFinder(window=128),
+    ]
+
+
+@given(st.binary(min_size=0, max_size=2048))
+@settings(max_examples=100, deadline=None)
+def test_tokens_reconstruct_input(data):
+    for finder in _finders():
+        tokens = finder.tokenize(data)
+        assert reconstruct(tokens, data) == data
+
+
+@given(st.binary(min_size=0, max_size=1024))
+@settings(max_examples=100, deadline=None)
+def test_token_stream_is_well_formed(data):
+    finder = MatchFinder()
+    tokens = finder.tokenize(data)
+    # Tokens tile the input: literal runs are contiguous in the source and
+    # the final token is literal-only.
+    covered = 0
+    for tok in tokens:
+        assert tok.lit_start == covered
+        covered += tok.lit_len + tok.match_len
+    assert covered == len(data)
+    assert tokens[-1].match_len == 0
+
+
+@given(st.binary(min_size=MIN_MATCH + 2, max_size=1024))
+@settings(max_examples=100, deadline=None)
+def test_matches_respect_window_and_min_match(data):
+    finder = MatchFinder(window=64)
+    for tok in finder.tokenize(data):
+        if tok.match_len:
+            assert tok.match_len >= MIN_MATCH
+            assert 1 <= tok.distance <= 64
+
+
+def test_finds_obvious_repetition():
+    data = b"abcdefgh" * 100
+    tokens = MatchFinder().tokenize(data)
+    matched = sum(t.match_len for t in tokens)
+    assert matched > len(data) * 0.9
+
+
+def test_lazy_matching_not_worse_than_greedy():
+    rng = random.Random(2)
+    words = [b"alpha", b"beta", b"gamma", b"delta"]
+    data = b"".join(rng.choice(words) for _ in range(500))
+    greedy_tokens = MatchFinder(max_chain=64, lazy=False).tokenize(data)
+    lazy_tokens = MatchFinder(max_chain=64, lazy=True).tokenize(data)
+    greedy_matched = sum(t.match_len for t in greedy_tokens)
+    lazy_matched = sum(t.match_len for t in lazy_tokens)
+    assert lazy_matched >= greedy_matched * 0.98

@@ -1,0 +1,215 @@
+"""WAL, page index, and replication-group semantics."""
+
+import pytest
+
+from repro.common.errors import RaftError, WALError
+from repro.storage.index import CompressionInfo, IndexEntry, PageIndex
+from repro.storage.raft import NetworkModel, Replica, ReplicationGroup
+from repro.storage.wal import (
+    WALRecordType,
+    WriteAheadLog,
+    decode_alloc,
+    decode_index_put,
+    decode_index_remove,
+)
+
+# --------------------------------------------------------------------- #
+# WAL                                                                    #
+# --------------------------------------------------------------------- #
+
+
+def test_wal_append_and_replay_round_trip():
+    wal = WriteAheadLog()
+    wal.append_index_put(
+        7, 100, 2, 5000, status=1, algorithm="lz4", applied_lsn=42,
+    )
+    wal.append_alloc(100, 2)
+    wal.append_index_remove(7)
+    wal.append_free(100, 2)
+    records = list(wal.replay())
+    assert [r.type for r in records] == [
+        WALRecordType.INDEX_PUT,
+        WALRecordType.ALLOC,
+        WALRecordType.INDEX_REMOVE,
+        WALRecordType.FREE,
+    ]
+    put = decode_index_put(records[0].payload)
+    assert (put.page_no, put.lba, put.n_blocks, put.payload_len) == (
+        7, 100, 2, 5000,
+    )
+    assert put.algorithm == "lz4"
+    assert put.applied_lsn == 42
+    assert decode_alloc(records[1].payload) == (100, 2)
+    assert decode_index_remove(records[2].payload) == 7
+    assert [r.lsn for r in records] == [1, 2, 3, 4]
+
+
+def test_wal_segment_record_round_trip():
+    from repro.storage.wal import decode_segment
+
+    wal = WriteAheadLog()
+    wal.append_segment(9, 123456, [(100, 32), (200, 8)], [5, 6, 7])
+    record = next(iter(wal.replay()))
+    assert record.type == WALRecordType.SEGMENT
+    segment = decode_segment(record.payload)
+    assert segment.segment_id == 9
+    assert segment.compressed_len == 123456
+    assert segment.pieces == ((100, 32), (200, 8))
+    assert segment.page_nos == (5, 6, 7)
+
+
+def test_wal_crc_detects_corruption():
+    wal = WriteAheadLog()
+    wal.append_alloc(1, 1)
+    wal.corrupt_record(0)
+    with pytest.raises(WALError):
+        list(wal.replay())
+
+
+def test_wal_truncate_below():
+    wal = WriteAheadLog()
+    for i in range(5):
+        wal.append_alloc(i, 1)
+    dropped = wal.truncate_below(4)
+    assert dropped == 3
+    assert [r.lsn for r in wal.replay()] == [4, 5]
+    # New appends continue the LSN sequence.
+    assert wal.append_checkpoint() == 6
+
+
+def test_wal_tracks_bytes():
+    wal = WriteAheadLog()
+    wal.append_alloc(1, 1)
+    assert wal.appended_bytes > 0
+
+
+# --------------------------------------------------------------------- #
+# Page index                                                             #
+# --------------------------------------------------------------------- #
+
+
+def entry(**kwargs):
+    defaults = dict(
+        status=CompressionInfo.NORMAL,
+        algorithm="zstd",
+        lba=0,
+        n_blocks=2,
+        payload_len=5000,
+    )
+    defaults.update(kwargs)
+    return IndexEntry(**defaults)
+
+
+def test_index_put_get_remove():
+    index = PageIndex()
+    assert index.get(1) is None
+    old = index.put(1, entry())
+    assert old is None
+    assert index.get(1).algorithm == "zstd"
+    replaced = index.put(1, entry(lba=10))
+    assert replaced.lba == 0
+    assert index.remove(1).lba == 10
+    assert 1 not in index
+
+
+def test_index_entry_validation():
+    with pytest.raises(ValueError):
+        entry(n_blocks=0)
+    with pytest.raises(ValueError):
+        entry(payload_len=0)
+    with pytest.raises(ValueError):
+        entry(status=CompressionInfo.NORMAL, algorithm=None)
+    with pytest.raises(ValueError):
+        entry(status=CompressionInfo.HEAVY, segment_id=None)
+
+
+def test_index_heavy_entry_carries_segment_info():
+    heavy = entry(
+        status=CompressionInfo.HEAVY,
+        algorithm=None,
+        segment_id=3,
+        page_in_segment=5,
+    )
+    index = PageIndex()
+    index.put(9, heavy)
+    assert index.get(9).segment_id == 3
+    assert index.stored_blocks == 0  # heavy blocks counted per segment
+
+
+def test_index_logical_bytes():
+    index = PageIndex()
+    index.put(1, entry())
+    index.put(2, entry())
+    assert index.logical_bytes == 2 * 16 * 1024
+
+
+# --------------------------------------------------------------------- #
+# Replication                                                            #
+# --------------------------------------------------------------------- #
+
+
+def _persist(latency):
+    return lambda start, payload: start + latency
+
+
+def make_group(leader_lat=10.0, follower_lats=(12.0, 20.0), net=None):
+    leader = Replica("leader", _persist(leader_lat))
+    followers = [
+        Replica(f"f{i}", _persist(lat)) for i, lat in enumerate(follower_lats)
+    ]
+    group = ReplicationGroup(
+        leader, followers, net or NetworkModel(one_way_us=5.0, per_kib_us=0.0)
+    )
+    return group, leader, followers
+
+
+def test_commit_waits_for_majority_not_all():
+    group, _, _ = make_group()
+    result = group.replicate(0.0, b"x" * 100)
+    # Leader done at 10; follower acks at 5+12+5=22 and 5+20+5=30.
+    # Quorum = 2 (leader + fastest follower) => commit at 22, not 30.
+    assert result.leader_persist_us == 10.0
+    assert result.commit_us == 22.0
+    assert sorted(result.follower_acks_us) == [22.0, 30.0]
+
+
+def test_commit_bounded_by_leader_when_leader_slow():
+    group, _, _ = make_group(leader_lat=50.0)
+    result = group.replicate(0.0, b"x")
+    assert result.commit_us == 50.0
+
+
+def test_one_follower_down_still_commits():
+    group, _, followers = make_group()
+    followers[0].alive = False
+    result = group.replicate(0.0, b"x")
+    assert result.commit_us == 30.0  # must wait for the slow follower
+
+
+def test_no_quorum_raises():
+    group, _, followers = make_group()
+    for follower in followers:
+        follower.alive = False
+    with pytest.raises(RaftError):
+        group.replicate(0.0, b"x")
+
+
+def test_dead_leader_raises():
+    group, leader, _ = make_group()
+    leader.alive = False
+    with pytest.raises(RaftError):
+        group.replicate(0.0, b"x")
+
+
+def test_payload_size_slows_replication():
+    net = NetworkModel(one_way_us=5.0, per_kib_us=1.0)
+    group, _, _ = make_group(net=net)
+    small = group.replicate(0.0, b"x" * 1024).commit_us
+    group2, _, _ = make_group(net=net)
+    large = group2.replicate(0.0, b"x" * 64 * 1024).commit_us
+    assert large > small
+
+
+def test_group_requires_followers():
+    with pytest.raises(RaftError):
+        ReplicationGroup(Replica("l", _persist(1.0)), [])

@@ -1,0 +1,36 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "PolarStore reproduction" in out
+    assert "repro.storage" in out
+
+
+def test_experiments_lists_every_target(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id, target, _ in EXPERIMENTS:
+        assert exp_id in out
+        assert target in out
+
+
+def test_demo_runs_end_to_end(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "dual-layer ratio" in out
+
+
+def test_no_command_shows_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
