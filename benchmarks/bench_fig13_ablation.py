@@ -13,7 +13,6 @@ Paper result, adding techniques one at a time on C2 hardware:
 """
 
 from repro.bench.harness import ExperimentResult, print_table, save_result
-from repro.common.latency import LatencyStats
 from repro.common.units import MiB
 from repro.csd.specs import OPTANE_P5800X, P5510, POLARCSD2
 from repro.db.database import PolarDB
@@ -57,6 +56,15 @@ STEPS = [
 ]
 
 
+def _span_mean(store, name):
+    """Mean of a tracer-recorded span histogram, 0 when never hit."""
+    hists = [h for h in store.metrics.find(name) if h.count]
+    count = sum(h.count for h in hists)
+    if count == 0:
+        return 0.0
+    return sum(h.total for h in hists) / count
+
+
 def _run_step(data_spec, config, seed=5):
     store = PolarStore(
         config, data_spec=data_spec, perf_spec=OPTANE_P5800X,
@@ -64,23 +72,28 @@ def _run_step(data_spec, config, seed=5):
     )
     db = PolarDB(store=store, buffer_pool_pages=BUFFER_POOL_PAGES)
     now = prepare_table(db, rows=ROWS, seed=seed)
-    store.redo_commit_stats.clear()
-    leader = store.leader
-    leader.page_read_stats.clear()
-    leader.page_write_stats.clear()
+    # Drop the load-phase samples: every latency below comes from tracer
+    # span histograms accumulated over the steady-state OLTP window only.
+    store.metrics.reset()
     run = run_sysbench(
         db, "read_write", duration_s=60.0, threads=THREADS,
         key_range=ROWS, start_us=now, seed=13, max_transactions=TXNS,
     )
-    redo = LatencyStats(list(store.redo_commit_stats))
-    reads = LatencyStats(list(leader.page_read_stats))
-    writes = LatencyStats(list(leader.page_write_stats))
     return {
         "tps": run.tps,
         "p95_us": run.p95_latency_us,
-        "redo_us": redo.mean_us,
-        "page_read_us": reads.mean_us,
-        "page_write_us": writes.mean_us,
+        # Redo path: the root span covers software compression + device
+        # write + quorum wait; the child spans attribute it per technique.
+        "redo_us": _span_mean(store, "trace.storage.redo_commit.total_us"),
+        "redo_cpu_us": _span_mean(
+            store, "trace.compression.redo_compress.self_us"
+        ),
+        "redo_dev_us": _span_mean(
+            store, "trace.csd.redo_device_write.self_us"
+        ),
+        # Page path: buffer-pool miss fetch, end to end.
+        "page_read_us": _span_mean(store, "trace.db.page_fetch.total_us"),
+        "page_write_us": store.leader.page_write_stats.mean_us,
     }
 
 
@@ -89,7 +102,7 @@ def run_figure13():
         "fig13_ablation",
         "technique-by-technique impact on OLTP-RW (C2 hardware)",
         ["config", "tps", "tps_vs_base", "p95_us", "redo_us",
-         "page_read_us", "page_write_us"],
+         "redo_cpu_us", "redo_dev_us", "page_read_us", "page_write_us"],
     )
     metrics = {}
     base_tps = None
@@ -100,6 +113,7 @@ def run_figure13():
         m["rel"] = m["tps"] / base_tps
         metrics[name] = m
         result.add(name, m["tps"], m["rel"], m["p95_us"], m["redo_us"],
+                   m["redo_cpu_us"], m["redo_dev_us"],
                    m["page_read_us"], m["page_write_us"])
     result.note(
         "paper: CSD −7.4%; +dual −19.6% further (redo 59→79 µs); "
@@ -116,6 +130,11 @@ def test_fig13(run_once):
     assert m["PolarCSD"]["rel"] < 1.0
     # Software-compressing redo pushes redo commit latency up materially...
     assert m["+dual-layer"]["redo_us"] > m["PolarCSD"]["redo_us"] * 1.15
+    # ...and the tracer spans attribute the regression: dual-layer spends
+    # CPU compressing redo; bypass (and the baselines) spend none.
+    assert m["+dual-layer"]["redo_cpu_us"] > 0.0
+    assert m["+bypass redo"]["redo_cpu_us"] == 0.0
+    assert m["PolarCSD"]["redo_cpu_us"] == 0.0
     # ...and bypass brings it back below the dual-layer level.
     assert m["+bypass redo"]["redo_us"] < m["+dual-layer"]["redo_us"]
     # Throughput recovers monotonically through the optimizations.

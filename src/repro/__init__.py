@@ -20,6 +20,9 @@ Subpackages
     Cluster space management and compression-aware scheduling.
 ``repro.workloads``
     Dataset generators and a sysbench-like OLTP driver.
+``repro.obs``
+    Metrics registry (counters, gauges, histograms), I/O tracing, and
+    JSON/Prometheus exporters shared by every layer above.
 """
 
 __version__ = "1.0.0"
@@ -37,6 +40,9 @@ _PUBLIC = {
     "AlgorithmSelector": ("repro.compression.selector", "AlgorithmSelector"),
     "run_sysbench": ("repro.workloads.sysbench", "run_sysbench"),
     "dataset_pages": ("repro.workloads.datagen", "dataset_pages"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "Histogram": ("repro.obs.metrics", "Histogram"),
+    "Tracer": ("repro.obs.tracing", "Tracer"),
 }
 
 

@@ -9,6 +9,10 @@ Commands
     writes, reads, space report).
 ``experiments``
     List every benchmark target and the paper artifact it reproduces.
+``metrics``
+    Run a short OLTP workload and dump the volume-wide metric snapshot
+    (JSON or Prometheus text), plus one traced write's per-layer
+    latency breakdown on stderr.
 """
 
 from __future__ import annotations
@@ -115,6 +119,57 @@ def cmd_demo(_args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from repro.common.units import MiB
+
+    if args.rows < 1:
+        print("metrics: --rows must be at least 1", file=sys.stderr)
+        return 2
+    from repro.db.database import PolarDB
+    from repro.obs.export import to_json, to_prometheus
+    from repro.workloads.sysbench import prepare_table, run_sysbench
+
+    db = PolarDB(volume_bytes=64 * MiB, seed=0)
+    loaded_us = prepare_table(db, rows=args.rows, seed=0)
+    result = run_sysbench(
+        db,
+        "read_write",
+        duration_s=args.duration,
+        threads=4,
+        key_range=args.rows,
+        start_us=loaded_us,
+        seed=0,
+    )
+
+    # One explicitly traced write so the per-layer span breakdown of a
+    # single request can be inspected (spans sum to end-to-end latency).
+    start = loaded_us + result.elapsed_s * 1e6
+    payload = (b"trace-me" * 512)[: 16 * 1024]
+    commit = db.store.write_page(start, 1, payload)
+    trace = db.metrics.tracer.last
+    if trace is not None:
+        end_to_end = commit.commit_us - start
+        print("# one traced OLTP page write "
+              f"({end_to_end:.1f}us end-to-end):", file=sys.stderr)
+        print(trace.render(), file=sys.stderr)
+        breakdown = trace.breakdown()
+        total = sum(breakdown.values())
+        print(f"# span sum {total:.1f}us vs end-to-end {end_to_end:.1f}us "
+              f"(delta {abs(total - end_to_end):.3f}us)", file=sys.stderr)
+        print("# per-layer:", file=sys.stderr)
+        for layer, us in sorted(trace.layer_breakdown().items()):
+            print(f"#   {layer:<12} {us:10.1f}us "
+                  f"({100.0 * us / total:5.1f}%)", file=sys.stderr)
+    print(f"# workload: read_write, {result.transactions} txns, "
+          f"{result.tps:.0f} tps (simulated)", file=sys.stderr)
+
+    if args.format == "prometheus":
+        print(to_prometheus(db.metrics))
+    else:
+        print(to_json(db.metrics))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -124,11 +179,28 @@ def main(argv=None) -> int:
     sub.add_parser("info", help="package and subsystem inventory")
     sub.add_parser("demo", help="30-second end-to-end demonstration")
     sub.add_parser("experiments", help="list benchmark targets")
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run a short workload and dump the metric snapshot",
+    )
+    metrics_p.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="snapshot format on stdout (default: json)",
+    )
+    metrics_p.add_argument(
+        "--rows", type=int, default=400,
+        help="sysbench table rows (default: 400)",
+    )
+    metrics_p.add_argument(
+        "--duration", type=float, default=0.2,
+        help="simulated seconds of read_write load (default: 0.2)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
         "demo": cmd_demo,
         "experiments": cmd_experiments,
+        "metrics": cmd_metrics,
     }
     if args.command is None:
         parser.print_help()
@@ -137,4 +209,8 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout was piped into head/less and closed early; not an error.
+        sys.exit(0)

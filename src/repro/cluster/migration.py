@@ -12,12 +12,13 @@ paper describes doing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.common.clock import ResourcePool
 from repro.common.units import GiB, MiB
 from repro.cluster.cluster import Cluster
 from repro.cluster.scheduler import MigrationTask
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,7 @@ class MigrationExecutor:
         per_stream_mib_s: float = 80.0,
         concurrent_streams: int = 8,
         per_task_overhead_s: float = 20.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """Defaults model a throttled background mover: ~80 MiB/s per
         stream (a fraction of a 25 Gbps NIC), 8 streams per cluster, and
@@ -46,6 +48,10 @@ class MigrationExecutor:
         self.per_stream_mib_s = per_stream_mib_s
         self.concurrent_streams = concurrent_streams
         self.per_task_overhead_s = per_task_overhead_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tasks_ctr = self.metrics.counter("cluster.migration.tasks")
+        self._moved_ctr = self.metrics.counter("cluster.migration.moved_bytes")
+        self._makespan = self.metrics.gauge("cluster.migration.makespan_s")
 
     def estimate(
         self, cluster_chunks_bytes: Sequence[int]
@@ -64,6 +70,9 @@ class MigrationExecutor:
             done = pool.serve(0.0, duration_s * 1e6)
             makespan_us = max(makespan_us, done)
             moved += nbytes
+        self._tasks_ctr.add(len(cluster_chunks_bytes))
+        self._moved_ctr.add(moved)
+        self._makespan.set(makespan_us / 1e6)
         return MigrationPlanReport(
             len(cluster_chunks_bytes), moved, makespan_us / 1e6
         )

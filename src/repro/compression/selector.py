@@ -20,6 +20,7 @@ from typing import Optional
 from repro.common.units import align_up, LBA_SIZE
 from repro.compression.base import CompressionResult, get_codec
 from repro.compression.cost import codec_cost
+from repro.obs.metrics import MetricsRegistry
 
 #: Threshold from §3.3.2: bytes saved per extra µs of decompression.
 DEFAULT_THRESHOLD_BYTES_PER_US = 300.0
@@ -52,12 +53,29 @@ class AlgorithmSelector:
         threshold_bytes_per_us: float = DEFAULT_THRESHOLD_BYTES_PER_US,
         cpu_gate: float = CPU_UTILIZATION_GATE,
         update_gate: float = UPDATE_PERCENT_GATE,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.threshold = threshold_bytes_per_us
         self.cpu_gate = cpu_gate
         self.update_gate = update_gate
         self.evaluations = 0
         self.fallbacks = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._evaluations_ctr = self.metrics.counter(
+            "compression.selector.evaluations"
+        )
+        self._fallbacks_ctr = self.metrics.counter(
+            "compression.selector.fallbacks"
+        )
+        self._benefit_hist = self.metrics.histogram(
+            "compression.selector.benefit_bytes_per_us"
+        )
+
+    def _decided(self, decision: SelectionDecision) -> SelectionDecision:
+        self.metrics.counter(
+            "compression.selector.selected", codec=decision.codec
+        ).inc()
+        return decision
 
     def select(
         self,
@@ -73,12 +91,15 @@ class AlgorithmSelector:
         """
         if cpu_utilization > self.cpu_gate:
             self.fallbacks += 1
-            return self._single(page, "lz4")
+            self._fallbacks_ctr.inc()
+            return self._decided(self._single(page, "lz4"))
         if update_percent <= self.update_gate and last_used is not None:
             self.fallbacks += 1
-            return self._single(page, last_used)
+            self._fallbacks_ctr.inc()
+            return self._decided(self._single(page, last_used))
 
         self.evaluations += 1
+        self._evaluations_ctr.inc()
         lz4_result = get_codec("lz4").compress_result(page)
         zstd_result = get_codec("zstd").compress_result(page)
         lz4_aligned = align_up(lz4_result.compressed_size, LBA_SIZE)
@@ -90,14 +111,15 @@ class AlgorithmSelector:
         zstd_lat = codec_cost("zstd").decompress_us(zstd_aligned)
         overhead_us = max(zstd_lat - lz4_lat, 1e-9)
         benefit_bytes = float(lz4_aligned - zstd_aligned)
+        self._benefit_hist.record(max(benefit_bytes, 0.0) / overhead_us)
 
         if benefit_bytes / overhead_us > self.threshold:
-            return SelectionDecision(
+            return self._decided(SelectionDecision(
                 "zstd", zstd_result, True, benefit_bytes, overhead_us
-            )
-        return SelectionDecision(
+            ))
+        return self._decided(SelectionDecision(
             "lz4", lz4_result, True, benefit_bytes, overhead_us
-        )
+        ))
 
     @staticmethod
     def _single(page: bytes, codec_name: str) -> SelectionDecision:

@@ -28,6 +28,7 @@ from repro.csd.faults import FaultProfile, profile_for
 from repro.csd.ftl import FTL
 from repro.csd.mapping import L2PEntryCodecV1, L2PEntryCodecV2
 from repro.csd.specs import DeviceSpec
+from repro.obs.metrics import MetricsRegistry
 
 LBA_SIZE = 4 * KiB
 
@@ -54,10 +55,14 @@ class BlockDevice:
         seed: int = 0,
         inject_faults: bool = False,
         parallelism: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         """``parallelism`` models internal channel/striping concurrency
         (or, at node scope, the 10–12 drives a storage server actually
-        has); requests beyond it queue FIFO."""
+        has); requests beyond it queue FIFO.  ``metrics`` shares a
+        registry with the owning node so device latency histograms and
+        FTL counters appear in volume-level snapshots."""
         self.spec = spec
         if parallelism <= 1:
             self.queue = Resource(spec.name)
@@ -65,6 +70,21 @@ class BlockDevice:
             self.queue = ResourcePool(spec.name, parallelism)
         self.read_stats = LatencyStats()
         self.write_stats = LatencyStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metric_labels = dict(metric_labels or {})
+        self.metric_labels.setdefault("device", spec.name)
+        self._read_hist = self.metrics.histogram(
+            "csd.device.read_us", **self.metric_labels
+        )
+        self._write_hist = self.metrics.histogram(
+            "csd.device.write_us", **self.metric_labels
+        )
+        self._read_bytes = self.metrics.counter(
+            "csd.device.read_bytes", **self.metric_labels
+        )
+        self._write_bytes = self.metrics.counter(
+            "csd.device.write_bytes", **self.metric_labels
+        )
         self._rng = np.random.default_rng(seed)
         self._faults: Optional[FaultProfile] = (
             profile_for(spec.name) if inject_faults else None
@@ -98,6 +118,8 @@ class BlockDevice:
         self._store(lba, data)
         done = self.queue.serve(start_us, service)
         self.write_stats.record(done - start_us)
+        self._write_hist.record(done - start_us)
+        self._write_bytes.add(len(data))
         return IOCompletion(start_us, done)
 
     def read(self, start_us: float, lba: int, nbytes: int) -> IOCompletion:
@@ -109,6 +131,8 @@ class BlockDevice:
         service += self._fault_extra(is_read=True)
         done = self.queue.serve(start_us, service)
         self.read_stats.record(done - start_us)
+        self._read_hist.record(done - start_us)
+        self._read_bytes.add(nbytes)
         return IOCompletion(start_us, done, data)
 
     # -- helpers --------------------------------------------------------------
@@ -142,8 +166,11 @@ class PlainSSD(BlockDevice):
         seed: int = 0,
         inject_faults: bool = False,
         parallelism: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ):
-        super().__init__(spec, seed, inject_faults, parallelism)
+        super().__init__(spec, seed, inject_faults, parallelism,
+                         metrics=metrics, metric_labels=metric_labels)
         self._blocks: Dict[int, bytes] = {}
 
     def _service_write_us(self, lba: int, data: bytes) -> float:
@@ -209,10 +236,13 @@ class PolarCSD(BlockDevice):
         physical_capacity: Optional[int] = None,
         trim_enabled: bool = True,
         parallelism: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         if not spec.has_compression:
             raise DeviceError(f"{spec.name} has no compression engine")
-        super().__init__(spec, seed, inject_faults, parallelism)
+        super().__init__(spec, seed, inject_faults, parallelism,
+                         metrics=metrics, metric_labels=metric_labels)
         codec = L2PEntryCodecV1() if spec.host_managed_ftl else L2PEntryCodecV2()
         self.ftl = FTL(
             physical_capacity
@@ -221,6 +251,8 @@ class PolarCSD(BlockDevice):
             codec=codec,
             block_capacity=block_capacity,
             trim_enabled=trim_enabled,
+            metrics=self.metrics,
+            metric_labels=self.metric_labels,
         )
         self.engine = HardwareGzip()
         self._blocks: Dict[int, bytes] = {}

@@ -13,24 +13,72 @@ and offset granularity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.common.errors import DeviceError, OutOfSpaceError
 from repro.common.units import MiB
 from repro.csd.mapping import L2PEntryCodecV1, MAPPING_LBA_SIZE
 from repro.csd.nand import NandBlock, NandSpace
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class FTLStats:
-    """Lifetime counters used by benchmarks and the cluster monitor."""
+    """Lifetime counters used by benchmarks and the cluster monitor.
 
-    host_written_bytes: int = 0
-    nand_written_bytes: int = 0
-    gc_relocated_bytes: int = 0
-    gc_runs: int = 0
-    trims: int = 0
+    Backed by :class:`~repro.obs.metrics.MetricsRegistry` counters so the
+    same numbers appear in metric snapshots and Prometheus exports; the
+    original attribute API (``stats.gc_runs`` etc.) is preserved as
+    read-only properties.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 labels: Optional[dict] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = labels or {}
+        self._host_written = self.metrics.counter(
+            "csd.ftl.host_written_bytes", **labels)
+        self._nand_written = self.metrics.counter(
+            "csd.ftl.nand_written_bytes", **labels)
+        self._gc_relocated = self.metrics.counter(
+            "csd.ftl.gc_relocated_bytes", **labels)
+        self._gc_runs = self.metrics.counter("csd.ftl.gc_runs", **labels)
+        self._trims = self.metrics.counter("csd.ftl.trims", **labels)
+
+    # -- recording (called by the FTL) --------------------------------------
+
+    def record_host_write(self, stored_len: int) -> None:
+        self._host_written.add(stored_len)
+        self._nand_written.add(stored_len)
+
+    def record_gc(self, relocated_bytes: int) -> None:
+        self._gc_relocated.add(relocated_bytes)
+        self._nand_written.add(relocated_bytes)
+        self._gc_runs.inc()
+
+    def record_trim(self) -> None:
+        self._trims.inc()
+
+    # -- the seed's read API -------------------------------------------------
+
+    @property
+    def host_written_bytes(self) -> int:
+        return int(self._host_written.value)
+
+    @property
+    def nand_written_bytes(self) -> int:
+        return int(self._nand_written.value)
+
+    @property
+    def gc_relocated_bytes(self) -> int:
+        return int(self._gc_relocated.value)
+
+    @property
+    def gc_runs(self) -> int:
+        return int(self._gc_runs.value)
+
+    @property
+    def trims(self) -> int:
+        return int(self._trims.value)
 
     @property
     def write_amplification(self) -> float:
@@ -52,6 +100,8 @@ class FTL:
         block_capacity: int = 4 * MiB,
         trim_enabled: bool = True,
         gc_policy: str = "greedy",
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[dict] = None,
     ) -> None:
         """``gc_policy``: ``"greedy"`` picks the block with the fewest live
         bytes; ``"cost-benefit"`` weighs reclaimable space against
@@ -65,7 +115,20 @@ class FTL:
         self.nand = NandSpace(physical_capacity, block_capacity)
         self.codec = codec if codec is not None else L2PEntryCodecV1()
         self.trim_enabled = trim_enabled
-        self.stats = FTLStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = FTLStats(self.metrics, metric_labels)
+        labels = metric_labels or {}
+        self.metrics.gauge_fn(
+            "csd.ftl.live_bytes", lambda: self.live_bytes, **labels
+        )
+        self.metrics.gauge_fn(
+            "csd.ftl.physical_utilization",
+            self.physical_utilization, **labels
+        )
+        self.metrics.gauge_fn(
+            "csd.ftl.untrimmed_ghost_bytes",
+            lambda: self.untrimmed_ghost_bytes, **labels
+        )
         # lba -> (block_id, offset, stored_len)
         self._mapping: Dict[int, "tuple[int, int, int]"] = {}
         # block_id -> {lba: stored_len}: reverse index for GC relocation.
@@ -94,8 +157,7 @@ class FTL:
         relocated = self._ensure_space(stored_len)
         self._invalidate(lba)
         self._place(lba, stored_len)
-        self.stats.host_written_bytes += stored_len
-        self.stats.nand_written_bytes += stored_len
+        self.stats.record_host_write(stored_len)
         return relocated
 
     def read(self, lba: int) -> "tuple[int, int, int]":
@@ -123,7 +185,7 @@ class FTL:
         """
         if lba not in self._mapping:
             return
-        self.stats.trims += 1
+        self.stats.record_trim()
         if not self.trim_enabled:
             self._untrimmed.add(lba)
             return
@@ -257,7 +319,5 @@ class FTL:
             relocated += stored_len
         self._residents[victim.block_id] = {}
         victim.erase()
-        self.stats.gc_relocated_bytes += relocated
-        self.stats.nand_written_bytes += relocated
-        self.stats.gc_runs += 1
+        self.stats.record_gc(relocated)
         return relocated

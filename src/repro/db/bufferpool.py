@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.common.units import DB_PAGE_SIZE
 from repro.db.page import Page, PageType
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.cache import LRUCache
 
 
@@ -44,9 +45,19 @@ class BufferPool:
         eviction via ``store.write_page``; the default drops them, since
         PolarDB's storage layer regenerates pages from redo.
         """
-        self._pages: LRUCache = LRUCache(
-            capacity_pages * DB_PAGE_SIZE, sizer=lambda _: DB_PAGE_SIZE
+        # Share the store's registry when it has one (PolarStore does) so
+        # db-layer counters land in the same volume-wide snapshot;
+        # baseline engines without one get a private registry.
+        self.metrics: MetricsRegistry = getattr(store, "metrics", None) or (
+            MetricsRegistry()
         )
+        self._pages: LRUCache = LRUCache(
+            capacity_pages * DB_PAGE_SIZE,
+            sizer=lambda _: DB_PAGE_SIZE,
+            metrics=self.metrics,
+            metric_name="db.bufferpool",
+        )
+        self._miss_hist = self.metrics.histogram("db.bufferpool.miss_us")
         self._store = store
         self._writeback = writeback
         # Pages handed out since the last drain; the RW node collects their
@@ -58,7 +69,13 @@ class BufferPool:
         if page is not None:
             self._touched[page_no] = page
             return page
+        span = self.metrics.tracer.begin(
+            "db.page_fetch", ctx.now_us, layer="db"
+        )
         result = self._store.read_page(ctx.now_us, page_no)
+        if span is not None:
+            self.metrics.tracer.end(span, result.done_us)
+        self._miss_hist.record(result.done_us - ctx.now_us)
         ctx.io_reads += 1
         ctx.io_read_us += result.done_us - ctx.now_us
         ctx.now_us = result.done_us

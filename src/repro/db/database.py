@@ -68,6 +68,12 @@ class PolarDB:
 
     # -- observability ----------------------------------------------------------
 
+    @property
+    def metrics(self):
+        """The volume-wide :class:`~repro.obs.metrics.MetricsRegistry` —
+        every layer (db, storage, compression, csd) publishes here."""
+        return self.store.metrics
+
     def compression_ratio(self) -> float:
         return self.store.compression_ratio()
 

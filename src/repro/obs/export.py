@@ -1,0 +1,88 @@
+"""Registry exporters: JSON for tooling, Prometheus text for scrapers.
+
+The Prometheus exporter follows the text exposition format: metric names
+are sanitized (dots become underscores), histograms emit cumulative
+``_bucket{le=...}`` lines ending in ``+Inf`` plus ``_sum``/``_count``,
+and callback gauges are evaluated at export time.  Timeseries export
+their most recent window as a gauge (scrapers keep their own history).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeseries import TimeSeries
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The whole registry as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def prometheus_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{prometheus_name(k)}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every instrument."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for instrument in registry.instruments():
+        name = prometheus_name(instrument.name)
+        labels = instrument.labels
+        if isinstance(instrument, Counter):
+            declare(name, "counter")
+            lines.append(f"{name}{_render_labels(labels)} {instrument.value:g}")
+        elif isinstance(instrument, Gauge):
+            declare(name, "gauge")
+            lines.append(f"{name}{_render_labels(labels)} {instrument.value:g}")
+        elif isinstance(instrument, Histogram):
+            declare(name, "histogram")
+            for le, cumulative in instrument.cumulative_buckets():
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_render_labels(labels, {'le': f'{le:g}'})}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_render_labels(labels, {'le': '+Inf'})}"
+                f" {instrument.count}"
+            )
+            lines.append(
+                f"{name}_sum{_render_labels(labels)} {instrument.total:g}"
+            )
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {instrument.count}"
+            )
+        elif isinstance(instrument, TimeSeries):
+            declare(name, "gauge")
+            points = instrument.points()
+            latest = points[-1][1] if points else 0.0
+            lines.append(f"{name}{_render_labels(labels)} {latest:g}")
+    return "\n".join(lines) + "\n"

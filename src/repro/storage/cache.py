@@ -21,7 +21,14 @@ class LRUCache(Generic[K, V]):
         self,
         capacity_bytes: int,
         sizer: Optional[Callable[[V], int]] = None,
+        metrics=None,
+        metric_name: Optional[str] = None,
+        metric_labels: Optional[dict] = None,
     ) -> None:
+        """``metrics``/``metric_name`` optionally publish hit/miss
+        counters and a hit-rate gauge to a
+        :class:`~repro.obs.metrics.MetricsRegistry` (e.g.
+        ``storage.page_cache.hits{node="node-0"}``)."""
         if capacity_bytes < 0:
             raise ValueError(f"negative capacity {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
@@ -31,6 +38,17 @@ class LRUCache(Generic[K, V]):
         self._pinned: set = set()
         self.hits = 0
         self.misses = 0
+        self._hit_ctr = self._miss_ctr = None
+        if metrics is not None and metric_name is not None:
+            labels = metric_labels or {}
+            self._hit_ctr = metrics.counter(f"{metric_name}.hits", **labels)
+            self._miss_ctr = metrics.counter(f"{metric_name}.misses", **labels)
+            metrics.gauge_fn(
+                f"{metric_name}.hit_rate", lambda: self.hit_rate, **labels
+            )
+            metrics.gauge_fn(
+                f"{metric_name}.used_bytes", lambda: self._used, **labels
+            )
 
     # -- pinning -----------------------------------------------------------
 
@@ -49,9 +67,13 @@ class LRUCache(Generic[K, V]):
         entry = self._items.get(key)
         if entry is None:
             self.misses += 1
+            if self._miss_ctr is not None:
+                self._miss_ctr.inc()
             return None
         self._items.move_to_end(key)
         self.hits += 1
+        if self._hit_ctr is not None:
+            self._hit_ctr.inc()
         return entry[0]
 
     def peek(self, key: K) -> Optional[V]:

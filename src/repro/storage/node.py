@@ -22,6 +22,7 @@ from repro.compression.base import get_codec
 from repro.compression.cost import codec_cost
 from repro.compression.selector import AlgorithmSelector
 from repro.csd.device import BlockDevice
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.allocator import SpaceManager
 from repro.storage.cache import LRUCache
 from repro.storage.heavy import HeavySegmentStore
@@ -108,18 +109,28 @@ class StorageNode:
         config: NodeConfig,
         data_device: BlockDevice,
         perf_device: BlockDevice,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.name = name
         self.config = config
         self.data_device = data_device
         self.perf_device = perf_device
+        #: Shared with the owning volume when built via ``build_node``;
+        #: a standalone node gets a private registry so instrumentation
+        #: never needs a None check.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.space = SpaceManager(data_device.spec.logical_capacity)
         self.index = PageIndex()
         self.wal = WriteAheadLog()
         self.selector = AlgorithmSelector(
-            update_gate=-1.0 if config.selection_always_evaluate else 0.30
+            update_gate=-1.0 if config.selection_always_evaluate else 0.30,
+            metrics=self.metrics,
         )
-        self.page_cache: LRUCache = LRUCache(config.page_cache_bytes)
+        self.page_cache: LRUCache = LRUCache(
+            config.page_cache_bytes,
+            metrics=self.metrics, metric_name="storage.page_cache",
+            metric_labels={"node": name},
+        )
         # Redo machinery.
         self.redo_cache: Dict[int, List[RedoRecord]] = {}
         self._redo_cache_bytes = 0
@@ -137,10 +148,35 @@ class StorageNode:
         self._redo_log_window = bytearray()
         # Durably-persisted redo batches (what recovery replays).
         self.durable_redo_blobs: List[bytes] = []
-        # Stats.
-        self.redo_write_stats: List[float] = []
-        self.page_read_stats: List[float] = []
-        self.page_write_stats: List[float] = []
+        # Stats: histogram-backed bounded series (the seed used unbounded
+        # raw lists here), plus event counters for the registry.
+        labels = {"node": name}
+        self.redo_write_stats = self.metrics.series(
+            "storage.redo_write_us", **labels
+        )
+        self.page_read_stats = self.metrics.series(
+            "storage.page_read_us", **labels
+        )
+        self.page_write_stats = self.metrics.series(
+            "storage.page_write_us", **labels
+        )
+        self._wal_flushes = self.metrics.counter(
+            "storage.wal_flushes", **labels
+        )
+        self._consolidations = self.metrics.counter(
+            "storage.consolidations", **labels
+        )
+        self._redo_spills = self.metrics.counter(
+            "storage.redo_spills", **labels
+        )
+        self.metrics.gauge_fn(
+            "storage.redo_cache_bytes",
+            lambda: self._redo_cache_bytes, **labels
+        )
+        self.metrics.gauge_fn(
+            "storage.logical_used_bytes_node",
+            lambda: self.logical_used_bytes, **labels
+        )
 
     # ------------------------------------------------------------------ #
     # Page write path                                                     #
@@ -222,7 +258,11 @@ class StorageNode:
         padded = prepared.payload + b"\x00" * (
             prepared.device_bytes - len(prepared.payload)
         )
+        tracer = self.metrics.tracer
+        node_sp = tracer.begin("storage.node_write", start_us, layer="storage")
+        dev_sp = tracer.begin("csd.device_write", start_us, layer="csd")
         completion = self.data_device.write(start_us, lba, padded)
+        tracer.end(dev_sp, completion.done_us)
         self.wal.append_alloc(lba, prepared.n_blocks)
         self.wal.append_index_put(
             page_no, lba, prepared.n_blocks, len(prepared.payload),
@@ -230,7 +270,12 @@ class StorageNode:
             algorithm=prepared.algorithm,
             applied_lsn=applied_lsn,
         )
+        wal_sp = tracer.begin(
+            "storage.wal_flush", completion.done_us, layer="storage"
+        )
         done = self._persist_wal(completion.done_us)
+        tracer.end(wal_sp, done)
+        tracer.end(node_sp, done)
 
         old = self.index.put(
             page_no,
@@ -321,12 +366,15 @@ class StorageNode:
 
     def read_page(self, start_us: float, page_no: int) -> ReadResult:
         """Read and decompress one page, applying pending redo if any."""
+        tracer = self.metrics.tracer
+        root = tracer.begin("storage.page_read", start_us, layer="storage")
         pending = self.redo_cache.get(page_no) or []
         spilled = self.log_store.blocks_for(page_no) > 0
         if not pending and not spilled:
             result = self._read_materialized(start_us, page_no)
         else:
             result = self._consolidate_and_read(start_us, page_no)
+        tracer.end(root, result.done_us)
         self.page_read_stats.append(result.done_us - start_us)
         return result
 
@@ -337,15 +385,20 @@ class StorageNode:
         entry = self.index.get(page_no)
         if entry is None:
             raise ReproError(f"{self.name}: page {page_no} does not exist")
+        tracer = self.metrics.tracer
         if entry.status is CompressionInfo.HEAVY:
+            sp = tracer.begin("storage.heavy_read", start_us, layer="storage")
             data, done, cpu = self.heavy.read_page(
                 start_us, entry.segment_id, entry.page_in_segment
             )
+            tracer.end(sp, done + cpu)
             self._admit(page_no, data)
             return ReadResult(data, done + cpu, 1, cpu)
+        dev_sp = tracer.begin("csd.device_read", start_us, layer="csd")
         completion = self.data_device.read(
             start_us, entry.lba, entry.n_blocks * LBA_SIZE
         )
+        tracer.end(dev_sp, completion.done_us)
         payload = completion.data[: entry.payload_len]
         cpu = 0.0
         if entry.status is CompressionInfo.NORMAL:
@@ -358,6 +411,11 @@ class StorageNode:
                     f"{self.name}: page {page_no} decompressed to "
                     f"{len(data)} bytes"
                 )
+            sp = tracer.begin(
+                "compression.decompress", completion.done_us,
+                layer="compression",
+            )
+            tracer.end(sp, completion.done_us + cpu)
         else:
             data = payload
         self._admit(page_no, data)
@@ -380,6 +438,7 @@ class StorageNode:
         each commit re-compresses the tail block) and writes it to the
         data device — the 59 µs → 79 µs regression of Figure 13c.
         """
+        tracer = self.metrics.tracer
         if self.config.opt_bypass_redo:
             device = self.perf_device
             payload = blob
@@ -400,6 +459,11 @@ class StorageNode:
             else:
                 payload = blob
                 cpu = 0.0
+        if cpu > 0.0:
+            sp = tracer.begin(
+                "compression.redo_compress", start_us, layer="compression"
+            )
+            tracer.end(sp, start_us + cpu)
         nbytes = align_up(max(len(payload), 1), LBA_SIZE)
         padded = payload + b"\x00" * (nbytes - len(payload))
         if device is self.perf_device:
@@ -408,8 +472,13 @@ class StorageNode:
             lba = self.space.allocate_blocks(nbytes)
             self.wal.append_alloc(lba, nbytes // LBA_SIZE)
             self._track_redo_block(lba, nbytes)
+        dev_sp = tracer.begin(
+            "csd.redo_device_write", start_us + cpu, layer="csd"
+        )
         completion = device.write(start_us + cpu, lba, padded)
+        tracer.end(dev_sp, completion.done_us)
         self.durable_redo_blobs.append(blob)
+        self.redo_write_stats.append(completion.done_us - start_us)
         return completion.done_us
 
     def _track_redo_block(self, lba: int, nbytes: int) -> None:
@@ -434,6 +503,7 @@ class StorageNode:
 
     def _persist_wal(self, start_us: float) -> float:
         """Flush pending WAL appends as one 4 KB write to the perf device."""
+        self._wal_flushes.inc()
         lba = self._next_perf_lba(LBA_SIZE)
         return self.perf_device.write(start_us, lba, b"\x00" * LBA_SIZE).done_us
 
@@ -460,6 +530,7 @@ class StorageNode:
             return result.done_us
         records = self.redo_cache.pop(page_no)
         self._redo_cache_bytes -= sum(r.size_bytes for r in records)
+        self._redo_spills.inc()
         return self.log_store.evict(start_us, records)
 
     def _would_overflow_page_log(self, page_no: int) -> bool:
@@ -478,6 +549,8 @@ class StorageNode:
 
     def _consolidate_and_read(self, start_us: float, page_no: int) -> ReadResult:
         """Materialize a page that has pending redo (Figure 6)."""
+        tracer = self.metrics.tracer
+        self._consolidations.inc()
         if self.index.get(page_no) is None:
             # The page exists only as redo so far: start from a zero image.
             base = ReadResult(bytes(DB_PAGE_SIZE), start_us, 0, 0.0)
@@ -487,14 +560,18 @@ class StorageNode:
         io_reads = base.io_reads
         cpu = base.cpu_us
 
+        fetch_sp = tracer.begin("storage.log_fetch", now, layer="storage")
         fetched = self.log_store.fetch(now, page_no)
         now = fetched.done_us
+        tracer.end(fetch_sp, now)
         io_reads += fetched.reads_issued
 
         records = sorted(fetched.records + self.redo_cache.get(page_no, []))
         image = apply_records(base.data, records)
         cpu_apply = REDO_APPLY_US_PER_RECORD * len(records)
+        apply_sp = tracer.begin("storage.redo_apply", now, layer="storage")
         now += cpu_apply
+        tracer.end(apply_sp, now)
         cpu += cpu_apply
 
         # Write back the materialized page and drop the logs.
@@ -507,13 +584,18 @@ class StorageNode:
         update_fraction = min(
             1.0, sum(len(r.data) for r in records) / DB_PAGE_SIZE
         )
-        prepared = self.prepare_page(page_no, image, update_percent=update_fraction)
-        applied_lsn = max((r.lsn for r in records), default=0)
         # The *read* completes once the image is built; the write-back is
-        # background work, so the caller's latency stops at ``now``.
-        self.write_page_local(
-            now + prepared.cpu_us, page_no, prepared, applied_lsn=applied_lsn
-        )
+        # background work, so the caller's latency stops at ``now`` and
+        # its spans do not belong to this request's trace.
+        with tracer.suppressed():
+            prepared = self.prepare_page(
+                page_no, image, update_percent=update_fraction
+            )
+            applied_lsn = max((r.lsn for r in records), default=0)
+            self.write_page_local(
+                now + prepared.cpu_us, page_no, prepared,
+                applied_lsn=applied_lsn,
+            )
         self._admit(page_no, image)
         return ReadResult(image, now, io_reads, cpu, consolidated=True)
 

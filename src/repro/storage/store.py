@@ -30,6 +30,7 @@ from repro.csd.specs import (
     OPTANE_P5800X,
     POLARCSD2,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.node import NodeConfig, PreparedWrite, ReadResult, StorageNode
 from repro.storage.raft import NetworkModel
 from repro.storage.redo import RedoRecord, encode_records
@@ -61,6 +62,7 @@ def build_node(
     seed: int = 0,
     inject_faults: bool = False,
     parallelism: int = 8,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> StorageNode:
     """Construct a storage node with simulation-sized devices.
 
@@ -78,21 +80,28 @@ def build_node(
         logical_capacity=volume_bytes,
         physical_capacity=physical_bytes,
     )
+    if metrics is None:
+        metrics = MetricsRegistry()
     if sized.has_compression:
         data_device: BlockDevice = PolarCSD(
             sized, seed=seed, inject_faults=inject_faults,
             block_capacity=1 * MiB, parallelism=parallelism,
+            metrics=metrics, metric_labels={"node": name, "role": "data"},
         )
     else:
         data_device = PlainSSD(
             sized, seed=seed, inject_faults=inject_faults,
             parallelism=parallelism,
+            metrics=metrics, metric_labels={"node": name, "role": "data"},
         )
     perf_sized = dataclasses.replace(
         perf_spec, logical_capacity=max(volume_bytes // 4, 8 * MiB)
     )
-    perf_device = PlainSSD(perf_sized, seed=seed + 1, parallelism=2)
-    return StorageNode(name, config, data_device, perf_device)
+    perf_device = PlainSSD(
+        perf_sized, seed=seed + 1, parallelism=2,
+        metrics=metrics, metric_labels={"node": name, "role": "perf"},
+    )
+    return StorageNode(name, config, data_device, perf_device, metrics=metrics)
 
 
 class PolarStore:
@@ -113,6 +122,10 @@ class PolarStore:
             raise ValueError("need at least one replica")
         self.config = config if config is not None else NodeConfig()
         self.network = network
+        #: One registry spans the whole volume: every node, device, FTL,
+        #: and selector instrument lands here, and its tracer carries span
+        #: context through the write/read paths.
+        self.metrics = MetricsRegistry()
         base = next(_node_counter) * 100
         self.nodes: List[StorageNode] = [
             build_node(
@@ -123,12 +136,33 @@ class PolarStore:
                 volume_bytes,
                 seed=seed + i * 7,
                 inject_faults=inject_faults,
+                metrics=self.metrics,
             )
             for i in range(replicas)
         ]
         self._alive = [True] * replicas
-        self.redo_commit_stats: List[float] = []
-        self.page_write_commit_stats: List[float] = []
+        # Commit-latency distributions, bounded (the seed kept raw
+        # unbounded lists here); list(...)/len()/clear() still work.
+        self.redo_commit_stats = self.metrics.series(
+            "storage.redo_commit_us"
+        )
+        self.page_write_commit_stats = self.metrics.series(
+            "storage.page_write_commit_us"
+        )
+        self._commit_rate = self.metrics.timeseries(
+            "storage.commits_per_window", window_us=1e6
+        )
+        self.metrics.gauge_fn(
+            "storage.compression_ratio", self.compression_ratio
+        )
+        self.metrics.gauge_fn(
+            "storage.logical_used_bytes",
+            lambda: self.leader.logical_used_bytes,
+        )
+        self.metrics.gauge_fn(
+            "storage.physical_used_bytes",
+            lambda: self.leader.physical_used_bytes,
+        )
 
     @property
     def leader(self) -> StorageNode:
@@ -163,6 +197,9 @@ class PolarStore:
         """Figure 4 steps 1–4: compress, replicate, persist, commit."""
         if mode is CompressionMode.HEAVY:
             raise ReproError("use archive_range() for heavy compression")
+        tracer = self.metrics.tracer
+        root = tracer.begin("storage.page_write", start_us, layer="storage")
+        sp = tracer.begin("compression.prepare", start_us, layer="compression")
         if mode is CompressionMode.NONE or len(data) != DB_PAGE_SIZE:
             # Non-page-aligned I/O automatically reverts to no-compression.
             prepared = self._raw_prepared(data)
@@ -172,8 +209,11 @@ class PolarStore:
             )
 
         after_compress = start_us + prepared.cpu_us
+        tracer.end(sp, after_compress)
         commit = self._replicate_page(after_compress, page_no, prepared)
+        tracer.end(root, commit)
         self.page_write_commit_stats.append(commit - start_us)
+        self._commit_rate.record(commit)
         return CommittedWrite(commit, prepared)
 
     @staticmethod
@@ -192,16 +232,25 @@ class PolarStore:
     def _replicate_page(
         self, start_us: float, page_no: int, prepared: PreparedWrite
     ) -> float:
+        tracer = self.metrics.tracer
         leader_done = self.leader.write_page_local(start_us, page_no, prepared).done_us
         send = self.network.rpc_us(len(prepared.payload))
         ack = self.network.rpc_us(64)
         acks: List[float] = []
-        for i, node in enumerate(self.nodes[1:], start=1):
-            if not self._alive[i]:
-                continue
-            done = node.write_page_local(start_us + send, page_no, prepared).done_us
-            acks.append(done + ack)
-        return self._commit_time(leader_done, acks)
+        # Followers run concurrently with the leader; only the critical
+        # path is attributed, so their spans are suppressed.
+        with tracer.suppressed():
+            for i, node in enumerate(self.nodes[1:], start=1):
+                if not self._alive[i]:
+                    continue
+                done = node.write_page_local(
+                    start_us + send, page_no, prepared
+                ).done_us
+                acks.append(done + ack)
+        commit = self._commit_time(leader_done, acks)
+        sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
+        tracer.end(sp, commit)
+        return commit
 
     def _commit_time(self, leader_done: float, acks: List[float]) -> float:
         alive = 1 + len(acks)
@@ -219,54 +268,78 @@ class PolarStore:
     ) -> float:
         """Replicated non-page-aligned write (no-compression mode rule:
         decompress existing, splice, store uncompressed)."""
+        tracer = self.metrics.tracer
+        root = tracer.begin("storage.partial_write", start_us, layer="storage")
         leader_done = self.leader.write_partial(
             start_us, page_no, offset, data
         ).done_us
         send = self.network.rpc_us(len(data))
         ack = self.network.rpc_us(64)
         acks = []
-        for i, node in enumerate(self.nodes[1:], start=1):
-            if not self._alive[i]:
-                continue
-            done = node.write_partial(start_us + send, page_no, offset, data).done_us
-            acks.append(done + ack)
-        return self._commit_time(leader_done, acks)
+        with tracer.suppressed():
+            for i, node in enumerate(self.nodes[1:], start=1):
+                if not self._alive[i]:
+                    continue
+                done = node.write_partial(
+                    start_us + send, page_no, offset, data
+                ).done_us
+                acks.append(done + ack)
+        commit = self._commit_time(leader_done, acks)
+        sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
+        tracer.end(sp, commit)
+        tracer.end(root, commit)
+        return commit
 
     def write_redo(
         self, start_us: float, records: Sequence[RedoRecord]
     ) -> float:
         """Replicated redo persistence (the transaction-commit path)."""
         blob = encode_records(records)
+        tracer = self.metrics.tracer
+        root = tracer.begin("storage.redo_commit", start_us, layer="storage")
         leader_done = self.leader.persist_redo(start_us, blob)
         send = self.network.rpc_us(len(blob))
         ack = self.network.rpc_us(64)
         acks = []
-        for i, node in enumerate(self.nodes[1:], start=1):
-            if not self._alive[i]:
-                continue
-            acks.append(node.persist_redo(start_us + send, blob) + ack)
+        with tracer.suppressed():
+            for i, node in enumerate(self.nodes[1:], start=1):
+                if not self._alive[i]:
+                    continue
+                acks.append(node.persist_redo(start_us + send, blob) + ack)
         commit = self._commit_time(leader_done, acks)
+        sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
+        tracer.end(sp, commit)
+        tracer.end(root, commit)
         # Records enter every replica's redo cache for later consolidation.
-        for i, node in enumerate(self.nodes):
-            if self._alive[i]:
-                node.add_redo(commit, list(records))
+        # Cache spills here may consolidate pages (background work whose
+        # spans would overlap the committed request).
+        with tracer.suppressed():
+            for i, node in enumerate(self.nodes):
+                if self._alive[i]:
+                    node.add_redo(commit, list(records))
         self.redo_commit_stats.append(commit - start_us)
+        self._commit_rate.record(commit)
         return commit
 
     def archive_range(self, start_us: float, page_nos: List[int]) -> float:
         """Heavy-compress a page range on every replica."""
         done = start_us
-        for i, node in enumerate(self.nodes):
-            if self._alive[i]:
-                done = max(done, node.archive_range(start_us, list(page_nos)))
+        # Replicas archive concurrently; span attribution tracks the leader.
+        with self.metrics.tracer.suppressed():
+            for i, node in enumerate(self.nodes):
+                if self._alive[i]:
+                    done = max(
+                        done, node.archive_range(start_us, list(page_nos))
+                    )
         return done
 
     def checkpoint(self, start_us: float) -> float:
         """Consolidate every pending redo page on all alive replicas."""
         done = start_us
-        for i, node in enumerate(self.nodes):
-            if self._alive[i]:
-                done = max(done, node.consolidate_pending(start_us))
+        with self.metrics.tracer.suppressed():
+            for i, node in enumerate(self.nodes):
+                if self._alive[i]:
+                    done = max(done, node.consolidate_pending(start_us))
         return done
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,71 @@
+"""JSON and Prometheus text exporters."""
+
+import json
+import re
+
+from repro.obs.export import prometheus_name, to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("storage.wal_flushes", node="node-0").inc(3)
+    reg.gauge("csd.ftl.live_bytes").set(4096.0)
+    hist = reg.histogram("storage.page_write_us")
+    hist.extend([10.0, 20.0, 500.0])
+    reg.timeseries("storage.commits_per_window", window_us=100.0).record(50.0)
+    return reg
+
+
+def test_json_roundtrip_contains_every_instrument():
+    reg = _sample_registry()
+    doc = json.loads(to_json(reg))
+    names = {i["name"] for i in doc["instruments"]}
+    assert names == {
+        "storage.wal_flushes",
+        "csd.ftl.live_bytes",
+        "storage.page_write_us",
+        "storage.commits_per_window",
+    }
+    by_name = {i["name"]: i for i in doc["instruments"]}
+    assert by_name["storage.wal_flushes"]["labels"] == {"node": "node-0"}
+    assert by_name["storage.wal_flushes"]["value"] == 3.0
+    assert by_name["storage.page_write_us"]["count"] == 3
+
+
+def test_prometheus_name_sanitization():
+    assert prometheus_name("storage.page_write_us") == "storage_page_write_us"
+    assert prometheus_name("9lives") == "_9lives"
+    assert prometheus_name("a:b") == "a:b"
+
+
+def test_prometheus_counter_and_gauge_lines():
+    text = to_prometheus(_sample_registry())
+    assert "# TYPE storage_wal_flushes counter" in text
+    assert 'storage_wal_flushes{node="node-0"} 3' in text
+    assert "# TYPE csd_ftl_live_bytes gauge" in text
+    assert "csd_ftl_live_bytes 4096" in text
+
+
+def test_prometheus_histogram_format():
+    text = to_prometheus(_sample_registry())
+    assert "# TYPE storage_page_write_us histogram" in text
+    bucket_lines = [
+        line for line in text.splitlines()
+        if line.startswith("storage_page_write_us_bucket")
+    ]
+    # Cumulative counts, ending with the +Inf catch-all equal to count.
+    assert bucket_lines[-1] == 'storage_page_write_us_bucket{le="+Inf"} 3'
+    counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+    assert counts == sorted(counts)
+    assert "storage_page_write_us_sum 530" in text
+    assert "storage_page_write_us_count 3" in text
+
+
+def test_prometheus_lines_are_well_formed():
+    line_re = re.compile(
+        r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+"
+        r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.+eE\-infINF]+)$"
+    )
+    for line in to_prometheus(_sample_registry()).strip().splitlines():
+        assert line_re.match(line), line

@@ -26,6 +26,31 @@ def test_demo_runs_end_to_end(capsys):
     assert "dual-layer ratio" in out
 
 
+def test_metrics_emits_json_snapshot(capsys):
+    assert main(["metrics", "--rows", "120", "--duration", "0.02"]) == 0
+    captured = capsys.readouterr()
+    import json
+
+    doc = json.loads(captured.out)
+    names = {i["name"] for i in doc["instruments"]}
+    layers = {n.split(".", 1)[0] for n in names}
+    assert len(names) >= 10
+    assert {"storage", "csd", "compression", "db"} <= layers
+    # The traced write's breakdown lands on stderr with a sub-µs delta.
+    assert "per-layer" in captured.err
+    assert "delta 0.000us" in captured.err
+
+
+def test_metrics_prometheus_format(capsys):
+    assert main([
+        "metrics", "--rows", "120", "--duration", "0.02",
+        "--format", "prometheus",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE storage_wal_flushes counter" in out
+    assert "_bucket{" in out and 'le="+Inf"' in out
+
+
 def test_no_command_shows_help(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out
