@@ -13,6 +13,11 @@ Commands
     Run a short OLTP workload and dump the volume-wide metric snapshot
     (JSON or Prometheus text), plus one traced write's per-layer
     latency breakdown on stderr.
+``chaos``
+    Run a seeded fault-injection schedule (bit flips, torn/dropped/
+    misdirected writes, slow I/O, device failure, replica crash +
+    rejoin, quorum loss) against a replicated volume and assert the
+    durability invariants.  Exit 0 iff every invariant held.
 """
 
 from __future__ import annotations
@@ -170,6 +175,27 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos.harness import run_chaos
+
+    if args.ops < 50:
+        print("chaos: --ops must be at least 50 (the schedule needs "
+              "room for crash, rejoin, and quorum phases)", file=sys.stderr)
+        return 2
+    report = run_chaos(
+        seed=args.seed,
+        ops=args.ops,
+        verbose=args.verbose,
+        min_data_faults=args.min_faults,
+    )
+    print(report.render())
+    if args.metrics:
+        from repro.obs.export import to_json
+
+        print(to_json(report.metrics))
+    return 0 if report.passed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -195,12 +221,39 @@ def main(argv=None) -> int:
         "--duration", type=float, default=0.2,
         help="simulated seconds of read_write load (default: 0.2)",
     )
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection harness and check invariants",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=42,
+        help="RNG seed for both the workload and the fault plan "
+             "(default: 42)",
+    )
+    chaos_p.add_argument(
+        "--ops", type=int, default=700,
+        help="operations in the workload schedule (default: 700)",
+    )
+    chaos_p.add_argument(
+        "--min-faults", type=int, default=100,
+        help="I6 floor on injected data faults; scale down together "
+             "with --ops for a quick smoke run (default: 100)",
+    )
+    chaos_p.add_argument(
+        "--verbose", action="store_true",
+        help="narrate crash/rejoin/scrub events as they happen",
+    )
+    chaos_p.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the final metric snapshot as JSON",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
         "demo": cmd_demo,
         "experiments": cmd_experiments,
         "metrics": cmd_metrics,
+        "chaos": cmd_chaos,
     }
     if args.command is None:
         parser.print_help()

@@ -20,7 +20,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.common.clock import Resource, ResourcePool
-from repro.common.errors import DeviceError, OutOfSpaceError
+from repro.common.errors import DeviceError, OutOfSpaceError, ReproError
 from repro.common.latency import LatencyStats
 from repro.common.units import KiB, MiB, is_aligned
 from repro.compression.gzipdev import HardwareGzip
@@ -89,6 +89,12 @@ class BlockDevice:
         self._faults: Optional[FaultProfile] = (
             profile_for(spec.name) if inject_faults else None
         )
+        #: Data-level chaos injector (repro.chaos); None = no injection.
+        self._chaos = None
+
+    def attach_chaos(self, injector) -> None:
+        """Arm a :class:`repro.chaos.DeviceInjector` on this device."""
+        self._chaos = injector
 
     # -- subclass hooks ----------------------------------------------------
 
@@ -112,10 +118,28 @@ class BlockDevice:
     def write(self, start_us: float, lba: int, data: bytes) -> IOCompletion:
         """Write ``data`` (4 KB-aligned length) at logical block ``lba``."""
         self._check_alignment(len(data))
+        if self._chaos is not None:
+            self._chaos.begin_io(start_us)
         service = self._service_write_us(lba, data)
         service *= self._jitter()
         service += self._fault_extra(is_read=False)
-        self._store(lba, data)
+        store_lba, store_data = lba, data
+        if self._chaos is not None:
+            store_lba, store_data, extra = self._chaos.on_write(
+                start_us, lba, data
+            )
+            service += extra
+        if store_data is not None:
+            if store_lba != lba:
+                # Misdirected write: if the stray target is unusable
+                # (beyond capacity) the payload is simply lost — the
+                # device still reports success either way.
+                try:
+                    self._store(store_lba, store_data)
+                except ReproError:
+                    pass
+            else:
+                self._store(store_lba, store_data)
         done = self.queue.serve(start_us, service)
         self.write_stats.record(done - start_us)
         self._write_hist.record(done - start_us)
@@ -125,10 +149,14 @@ class BlockDevice:
     def read(self, start_us: float, lba: int, nbytes: int) -> IOCompletion:
         """Read ``nbytes`` (4 KB-aligned) starting at logical block ``lba``."""
         self._check_alignment(nbytes)
+        if self._chaos is not None:
+            self._chaos.begin_io(start_us)
         data = self._load(lba, nbytes)
         service = self._service_read_us(lba, nbytes)
         service *= self._jitter()
         service += self._fault_extra(is_read=True)
+        if self._chaos is not None:
+            service += self._chaos.on_read(start_us, lba, nbytes)
         done = self.queue.serve(start_us, service)
         self.read_stats.record(done - start_us)
         self._read_hist.record(done - start_us)

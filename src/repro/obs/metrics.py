@@ -417,6 +417,11 @@ class MetricsRegistry:
         if instrument is None:
             instrument = Gauge(name, labels, fn=fn)
             self._instruments[key] = instrument
+        else:
+            # Re-registration rebinds the callback: a rebuilt component
+            # (e.g. a node recovered from WAL replay) must not leave the
+            # gauge reading its dead predecessor's state.
+            instrument._fn = fn
         return instrument
 
     def histogram(self, name: str, growth: float = 1.04,

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.common.errors import ReproError
+from repro.common.checksum import crc32
+from repro.common.errors import ChecksumError, ReproError
 from repro.common.units import DB_PAGE_SIZE, LBA_SIZE, ceil_div
 from repro.compression.cost import codec_cost
 from repro.compression.zstd import ZstdCodec
@@ -32,6 +33,8 @@ class SegmentMeta:
     pieces: Tuple[Tuple[int, int], ...]  # (start_lba, n_blocks) per piece
     compressed_len: int
     page_nos: Tuple[int, ...]
+    #: CRC-32 of the compressed payload (0 = unknown, skip verification).
+    checksum: int = 0
 
     @property
     def n_blocks(self) -> int:
@@ -96,7 +99,8 @@ class HeavySegmentStore:
             cursor += blocks * LBA_SIZE
 
         meta = SegmentMeta(
-            self._next_id, tuple(pieces), len(payload), tuple(page_nos)
+            self._next_id, tuple(pieces), len(payload), tuple(page_nos),
+            checksum=crc32(payload),
         )
         self._segments[meta.segment_id] = meta
         self._next_id += 1
@@ -133,6 +137,10 @@ class HeavySegmentStore:
             now = completion.done_us
             blob += completion.data
         payload = bytes(blob[: meta.compressed_len])
+        if meta.checksum and crc32(payload) != meta.checksum:
+            raise ChecksumError(
+                f"segment {segment_id}: stored payload fails CRC verification"
+            )
         segment_raw = self.HEAVY_CODEC.decompress(payload)
         cpu_us = codec_cost("zstd-heavy").decompress_us(len(segment_raw))
         self._buffer.put(segment_id, segment_raw)

@@ -41,6 +41,10 @@ class IndexEntry:
     #: Highest redo LSN folded into this materialized image.  Recovery
     #: replays only durable redo beyond this point (idempotence).
     applied_lsn: int = 0
+    #: CRC-32 of the stored payload, verified on every read so silent
+    #: device corruption surfaces as :class:`PageCorruptionError` instead
+    #: of garbage data.  0 means "unknown" (verification skipped).
+    checksum: int = 0
 
     def __post_init__(self) -> None:
         if self.n_blocks <= 0:

@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import ReproError
+from repro.common.checksum import crc32
+from repro.common.errors import (
+    ChecksumError,
+    CorruptionError,
+    DeviceError,
+    DeviceUnavailableError,
+    PageCorruptionError,
+    ReproError,
+)
 from repro.common.units import DB_PAGE_SIZE, LBA_SIZE, MiB, align_up, ceil_div
 from repro.compression.base import get_codec
 from repro.compression.cost import codec_cost
@@ -27,7 +35,11 @@ from repro.storage.allocator import SpaceManager
 from repro.storage.cache import LRUCache
 from repro.storage.heavy import HeavySegmentStore
 from repro.storage.index import CompressionInfo, IndexEntry, PageIndex
-from repro.storage.perpage_log import PerPageLogStore, ScatteredLogStore
+from repro.storage.perpage_log import (
+    LOG_BLOCK_CAPACITY,
+    PerPageLogStore,
+    ScatteredLogStore,
+)
 from repro.storage.redo import RedoRecord, apply_records
 from repro.storage.wal import WriteAheadLog
 
@@ -75,6 +87,13 @@ class PreparedWrite:
     n_blocks: int
     cpu_us: float
     codec_evaluated: bool = False
+    #: CRC-32 of ``payload``, carried into the index entry and verified
+    #: on every read (the integrity check lives above the device).
+    checksum: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checksum == 0:
+            object.__setattr__(self, "checksum", crc32(self.payload))
 
     @property
     def device_bytes(self) -> int:
@@ -269,6 +288,7 @@ class StorageNode:
             status=_STATUS_IDS[prepared.status],
             algorithm=prepared.algorithm,
             applied_lsn=applied_lsn,
+            checksum=prepared.checksum,
         )
         wal_sp = tracer.begin(
             "storage.wal_flush", completion.done_us, layer="storage"
@@ -286,6 +306,7 @@ class StorageNode:
                 prepared.n_blocks,
                 len(prepared.payload),
                 applied_lsn=applied_lsn,
+                checksum=prepared.checksum,
             ),
         )
         self._release_entry(old)
@@ -386,30 +407,61 @@ class StorageNode:
         if entry is None:
             raise ReproError(f"{self.name}: page {page_no} does not exist")
         tracer = self.metrics.tracer
+
+        def corrupt(symptom: str, detail: str) -> PageCorruptionError:
+            return PageCorruptionError(
+                f"{self.name}: page {page_no} {detail}",
+                node=self.name, page_no=page_no, lba=entry.lba,
+                n_blocks=entry.n_blocks, symptom=symptom,
+            )
+
         if entry.status is CompressionInfo.HEAVY:
             sp = tracer.begin("storage.heavy_read", start_us, layer="storage")
-            data, done, cpu = self.heavy.read_page(
-                start_us, entry.segment_id, entry.page_in_segment
-            )
+            try:
+                data, done, cpu = self.heavy.read_page(
+                    start_us, entry.segment_id, entry.page_in_segment
+                )
+            except DeviceUnavailableError:
+                raise
+            except (ChecksumError, CorruptionError, DeviceError) as exc:
+                tracer.end(sp, start_us)
+                raise corrupt(
+                    "segment_corrupt", f"archived copy is corrupt: {exc}"
+                ) from exc
             tracer.end(sp, done + cpu)
             self._admit(page_no, data)
             return ReadResult(data, done + cpu, 1, cpu)
         dev_sp = tracer.begin("csd.device_read", start_us, layer="csd")
-        completion = self.data_device.read(
-            start_us, entry.lba, entry.n_blocks * LBA_SIZE
-        )
+        try:
+            completion = self.data_device.read(
+                start_us, entry.lba, entry.n_blocks * LBA_SIZE
+            )
+        except DeviceUnavailableError:
+            raise
+        except DeviceError as exc:
+            tracer.end(dev_sp, start_us)
+            raise corrupt("unreadable", f"device read failed: {exc}") from exc
         tracer.end(dev_sp, completion.done_us)
         payload = completion.data[: entry.payload_len]
+        if entry.checksum and crc32(payload) != entry.checksum:
+            raise corrupt(
+                "checksum_mismatch", "stored payload fails CRC verification"
+            )
         cpu = 0.0
         if entry.status is CompressionInfo.NORMAL:
-            data = get_codec(entry.algorithm).decompress(payload)
+            try:
+                data = get_codec(entry.algorithm).decompress(payload)
+            except (CorruptionError, ValueError, IndexError) as exc:
+                raise corrupt(
+                    "decompress_error", f"payload does not decompress: {exc}"
+                ) from exc
             cpu = codec_cost(entry.algorithm).decompress_us(
                 entry.n_blocks * LBA_SIZE
             )
             if len(data) != DB_PAGE_SIZE:
-                raise ReproError(
-                    f"{self.name}: page {page_no} decompressed to "
-                    f"{len(data)} bytes"
+                raise corrupt(
+                    "decompress_error",
+                    f"decompressed to {len(data)} bytes",
                 )
             sp = tracer.begin(
                 "compression.decompress", completion.done_us,
@@ -424,6 +476,31 @@ class StorageNode:
     def _admit(self, page_no: int, data: bytes) -> None:
         if self.page_cache.capacity_bytes > 0:
             self.page_cache.put(page_no, data)
+
+    # ------------------------------------------------------------------ #
+    # Detect & repair                                                     #
+    # ------------------------------------------------------------------ #
+
+    def repair_page(
+        self, start_us: float, page_no: int, data: bytes, applied_lsn: int = 0
+    ) -> WriteResult:
+        """Overwrite a corrupt local copy with a known-good page image.
+
+        The image came from a healthy replica, so it supersedes whatever
+        this node holds: the stale cache entry, any pending redo for the
+        page (already folded into ``data`` by the healthy replica), and
+        the bad on-device blocks (released by the index overwrite).
+        """
+        cached = self.redo_cache.pop(page_no, None)
+        if cached:
+            self._redo_cache_bytes -= sum(r.size_bytes for r in cached)
+        self.log_store.discard(page_no)
+        self.page_cache.remove(page_no)
+        prepared = self.prepare_page(page_no, data)
+        return self.write_page_local(
+            start_us + prepared.cpu_us, page_no, prepared,
+            applied_lsn=applied_lsn,
+        )
 
     # ------------------------------------------------------------------ #
     # Redo path                                                           #
@@ -531,14 +608,20 @@ class StorageNode:
         records = self.redo_cache.pop(page_no)
         self._redo_cache_bytes -= sum(r.size_bytes for r in records)
         self._redo_spills.inc()
-        return self.log_store.evict(start_us, records)
+        try:
+            return self.log_store.evict(start_us, records)
+        except DeviceUnavailableError:
+            # Spill never hit the device; keep the records in memory.
+            self.redo_cache[page_no] = records
+            self._redo_cache_bytes += sum(r.size_bytes for r in records)
+            raise
 
     def _would_overflow_page_log(self, page_no: int) -> bool:
         if not self.config.opt_per_page_log:
             return False
         pending = sum(r.size_bytes for r in self.redo_cache.get(page_no, ()))
         existing = self.log_store.stored_bytes_for(page_no)
-        return pending + existing > LBA_SIZE
+        return pending + existing > LOG_BLOCK_CAPACITY
 
     def pending_redo_pages(self) -> List[int]:
         return list(self.redo_cache)
@@ -561,12 +644,30 @@ class StorageNode:
         cpu = base.cpu_us
 
         fetch_sp = tracer.begin("storage.log_fetch", now, layer="storage")
-        fetched = self.log_store.fetch(now, page_no)
+        try:
+            fetched = self.log_store.fetch(now, page_no)
+        except DeviceUnavailableError:
+            raise
+        except (ChecksumError, CorruptionError, DeviceError, ValueError) as exc:
+            tracer.end(fetch_sp, now)
+            raise PageCorruptionError(
+                f"{self.name}: page {page_no} evicted redo is corrupt: {exc}",
+                node=self.name, page_no=page_no, symptom="log_corrupt",
+            ) from exc
         now = fetched.done_us
         tracer.end(fetch_sp, now)
         io_reads += fetched.reads_issued
 
-        records = sorted(fetched.records + self.redo_cache.get(page_no, []))
+        # ARIES redo rule: only records newer than the page's high-water
+        # mark apply — a full-page rewrite supersedes older redo, which
+        # must not be replayed over the fresher image.
+        entry = self.index.get(page_no)
+        applied = entry.applied_lsn if entry else 0
+        records = sorted(
+            r
+            for r in fetched.records + self.redo_cache.get(page_no, [])
+            if r.lsn > applied
+        )
         image = apply_records(base.data, records)
         cpu_apply = REDO_APPLY_US_PER_RECORD * len(records)
         apply_sp = tracer.begin("storage.redo_apply", now, layer="storage")
@@ -591,11 +692,22 @@ class StorageNode:
             prepared = self.prepare_page(
                 page_no, image, update_percent=update_fraction
             )
-            applied_lsn = max((r.lsn for r in records), default=0)
-            self.write_page_local(
-                now + prepared.cpu_us, page_no, prepared,
-                applied_lsn=applied_lsn,
-            )
+            applied_lsn = max((r.lsn for r in records), default=applied)
+            try:
+                self.write_page_local(
+                    now + prepared.cpu_us, page_no, prepared,
+                    applied_lsn=applied_lsn,
+                )
+            except DeviceUnavailableError:
+                # The write-back never persisted.  Re-stage the records so
+                # this replica is not left silently stale (its old page
+                # image still passes its old checksum).
+                if records:
+                    self.redo_cache[page_no] = list(records)
+                    self._redo_cache_bytes += sum(
+                        r.size_bytes for r in records
+                    )
+                raise
         self._admit(page_no, image)
         return ReadResult(image, now, io_reads, cpu, consolidated=True)
 

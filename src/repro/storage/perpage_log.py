@@ -26,11 +26,45 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Set
 
-from repro.common.errors import ReproError
+from repro.common.checksum import crc32
+from repro.common.errors import ChecksumError, ReproError
 from repro.common.units import LBA_SIZE
 from repro.storage.redo import RedoRecord, decode_records, encode_records
 
 _HEADER = struct.Struct("<QQHH")
+
+#: Log blocks are sealed with a small integrity header so corrupted or
+#: torn spill blocks are *detected* above the device instead of applying
+#: garbage redo to a page: ``crc32(body) | body_len``.
+_SEAL = struct.Struct("<II")
+
+#: Encoded record bytes one sealed 4 KB log block can hold.
+LOG_BLOCK_CAPACITY = LBA_SIZE - _SEAL.size
+
+
+def seal_block(body: bytes, total_len: int) -> bytes:
+    """Frame ``body`` with a CRC header and zero-pad to ``total_len``."""
+    if _SEAL.size + len(body) > total_len:
+        raise ReproError(
+            f"log body of {len(body)} bytes exceeds sealed block capacity"
+        )
+    blob = _SEAL.pack(crc32(body), len(body)) + body
+    return blob + b"\x00" * (total_len - len(blob))
+
+
+def unseal_block(blob: bytes) -> bytes:
+    """Verify a sealed block and return its body.
+
+    Raises :class:`ChecksumError` on any damage — CRC mismatch, an
+    impossible length field, or a block too short to carry the header.
+    """
+    if len(blob) < _SEAL.size:
+        raise ChecksumError("log block shorter than its seal header")
+    crc, length = _SEAL.unpack_from(blob)
+    body = blob[_SEAL.size : _SEAL.size + length]
+    if len(body) != length or crc32(body) != crc:
+        raise ChecksumError("log block fails CRC verification")
+    return body
 
 
 @dataclass
@@ -61,7 +95,7 @@ class ScatteredLogStore:
         """Append records to the open shared block; returns finish time."""
         now = start_us
         for record in records:
-            if record.size_bytes > LBA_SIZE:
+            if record.size_bytes > LOG_BLOCK_CAPACITY:
                 # A large record (e.g. full-page redo from a reorg) gets
                 # its own contiguous multi-block chunk.
                 now = self._write_large(now, record)
@@ -70,7 +104,7 @@ class ScatteredLogStore:
                 self._open_lba = self._allocator.allocate_blocks(LBA_SIZE)
                 self._block_records[self._open_lba] = []
                 self._block_span[self._open_lba] = 1
-            if self._open_bytes + record.size_bytes > LBA_SIZE:
+            if self._open_bytes + record.size_bytes > LOG_BLOCK_CAPACITY:
                 now = self._flush(now)
                 self._open_lba = self._allocator.allocate_blocks(LBA_SIZE)
                 self._block_records[self._open_lba] = []
@@ -86,19 +120,18 @@ class ScatteredLogStore:
     def _write_large(self, start_us: float, record: RedoRecord) -> float:
         from repro.common.units import align_up
 
-        nbytes = align_up(record.size_bytes, LBA_SIZE)
+        nbytes = align_up(_SEAL.size + record.size_bytes, LBA_SIZE)
         lba = self._allocator.allocate_blocks(nbytes)
-        blob = record.encode()
-        blob += b"\x00" * (nbytes - len(blob))
-        done = self._device.write(start_us, lba, blob).done_us
+        done = self._device.write(
+            start_us, lba, seal_block(record.encode(), nbytes)
+        ).done_us
         self._block_records[lba] = [record]
         self._block_span[lba] = nbytes // LBA_SIZE
         self._page_blocks.setdefault(record.page_no, set()).add(lba)
         return done
 
     def _flush(self, start_us: float, keep_open: bool = False) -> float:
-        blob = encode_records(self._open_block)
-        blob += b"\x00" * (LBA_SIZE - len(blob))
+        blob = seal_block(encode_records(self._open_block), LBA_SIZE)
         done = self._device.write(start_us, self._open_lba, blob).done_us
         if not keep_open:
             self._open_block = []
@@ -115,7 +148,7 @@ class ScatteredLogStore:
             span = self._block_span.get(lba, 1)
             completion = self._device.read(now, lba, span * LBA_SIZE)
             now = completion.done_us
-            parsed = decode_records(_strip_padding(completion.data))
+            parsed = decode_records(unseal_block(completion.data))
             records.extend(r for r in parsed if r.page_no == page_no)
         return FetchResult(sorted(records), len(lbas), now)
 
@@ -163,7 +196,7 @@ class PerPageLogStore:
         for page_no, new_records in by_page.items():
             merged = sorted(self._merged.get(page_no, []) + new_records)
             blob = encode_records(merged)
-            if len(blob) > LBA_SIZE:
+            if len(blob) > LOG_BLOCK_CAPACITY:
                 raise ReproError(
                     f"per-page log overflow for page {page_no}: "
                     f"{len(blob)} bytes (consolidate the page first)"
@@ -171,8 +204,9 @@ class PerPageLogStore:
             if page_no not in self._slots:
                 self._slots[page_no] = self._allocator.allocate_blocks(LBA_SIZE)
             self._merged[page_no] = merged
-            blob += b"\x00" * (LBA_SIZE - len(blob))
-            now = self._device.write(now, self._slots[page_no], blob).done_us
+            now = self._device.write(
+                now, self._slots[page_no], seal_block(blob, LBA_SIZE)
+            ).done_us
         return now
 
     def fetch(self, start_us: float, page_no: int) -> FetchResult:
@@ -181,7 +215,7 @@ class PerPageLogStore:
         if lba is None:
             return FetchResult([], 0, start_us)
         completion = self._device.read(start_us, lba, LBA_SIZE)
-        records = decode_records(_strip_padding(completion.data))
+        records = decode_records(unseal_block(completion.data))
         return FetchResult(sorted(records), 1, completion.done_us)
 
     def discard(self, page_no: int) -> None:
@@ -206,19 +240,3 @@ class PerPageLogStore:
         return len(self._slots)
 
 
-def _strip_padding(blob: bytes) -> bytes:
-    """Drop the trailing zero padding of a 4 KB log block.
-
-    Real records always carry a non-empty body, so a zero ``length`` field
-    marks the start of padding.
-    """
-    out = bytearray()
-    pos = 0
-    while pos + _HEADER.size <= len(blob):
-        length = _HEADER.unpack_from(blob, pos)[3]
-        if length == 0:
-            break
-        total = _HEADER.size + length
-        out += blob[pos : pos + total]
-        pos += total
-    return bytes(out)

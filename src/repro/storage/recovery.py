@@ -57,13 +57,14 @@ def _encode_snapshot(node: StorageNode) -> bytes:
 
     for page_no, entry in entries:
         out += struct.pack(
-            "<QQIIBBQQI",
+            "<QQIIBBQQII",
             page_no, entry.lba, entry.n_blocks, entry.payload_len,
             _STATUS_IDS[entry.status],
             node.wal.ALGORITHMS.get(entry.algorithm, 0),
             entry.applied_lsn,
             entry.segment_id or 0,
             entry.page_in_segment or 0,
+            entry.checksum,
         )
 
     segments = [
@@ -79,8 +80,8 @@ def _encode_snapshot(node: StorageNode) -> bytes:
     out += struct.pack("<I", len(segments))
     for meta in segments:
         out += struct.pack(
-            "<QQII", meta.segment_id, meta.compressed_len,
-            len(meta.pieces), len(meta.page_nos),
+            "<QQIII", meta.segment_id, meta.compressed_len,
+            len(meta.pieces), len(meta.page_nos), meta.checksum,
         )
         for lba, blocks in meta.pieces:
             out += struct.pack("<QI", lba, blocks)
@@ -122,18 +123,18 @@ def _decode_snapshot(payload: bytes):
     pos += 4
     entries = []
     for _ in range(n_entries):
-        fields = struct.unpack_from("<QQIIBBQQI", payload, pos)
-        pos += struct.calcsize("<QQIIBBQQI")
+        fields = struct.unpack_from("<QQIIBBQQII", payload, pos)
+        pos += struct.calcsize("<QQIIBBQQII")
         entries.append(fields)
 
     (n_segments,) = struct.unpack_from("<I", payload, pos)
     pos += 4
     segments = []
     for _ in range(n_segments):
-        segment_id, compressed_len, n_pieces, n_pages = struct.unpack_from(
-            "<QQII", payload, pos
+        segment_id, compressed_len, n_pieces, n_pages, checksum = (
+            struct.unpack_from("<QQIII", payload, pos)
         )
-        pos += struct.calcsize("<QQII")
+        pos += struct.calcsize("<QQIII")
         pieces = []
         for _ in range(n_pieces):
             lba, blocks = struct.unpack_from("<QI", payload, pos)
@@ -145,20 +146,23 @@ def _decode_snapshot(payload: bytes):
             pos += 8
         segments.append(
             SegmentMeta(segment_id, tuple(pieces), compressed_len,
-                        tuple(page_nos))
+                        tuple(page_nos), checksum)
         )
     return allocations, entries, segments
 
 
-def recover_node(crashed: StorageNode) -> StorageNode:
+def recover_node(crashed: StorageNode, metrics=None) -> StorageNode:
     """Return a fresh node with state rebuilt from the crashed node's WAL.
 
     Reuses the crashed node's devices (durable), WAL (lives on the
     performance device), and durable redo blobs.  In-memory structures —
     allocator bitmaps, page index, caches, redo cache — are reconstructed.
+    ``metrics`` lets a replicated volume keep the rebuilt node on the
+    shared registry; standalone recoveries inherit the crashed node's.
     """
     node = StorageNode(
-        crashed.name, crashed.config, crashed.data_device, crashed.perf_device
+        crashed.name, crashed.config, crashed.data_device, crashed.perf_device,
+        metrics=metrics if metrics is not None else crashed.metrics,
     )
     node.wal = crashed.wal
     node.durable_redo_blobs = list(crashed.durable_redo_blobs)
@@ -192,6 +196,7 @@ def recover_node(crashed: StorageNode) -> StorageNode:
                         put.page_in_segment if put.segment_id else None
                     ),
                     applied_lsn=put.applied_lsn,
+                    checksum=put.checksum,
                 ),
             )
         elif record.type is WALRecordType.INDEX_REMOVE:
@@ -199,7 +204,8 @@ def recover_node(crashed: StorageNode) -> StorageNode:
         elif record.type is WALRecordType.SEGMENT:
             seg = decode_segment(record.payload)
             segments[seg.segment_id] = SegmentMeta(
-                seg.segment_id, seg.pieces, seg.compressed_len, seg.page_nos
+                seg.segment_id, seg.pieces, seg.compressed_len, seg.page_nos,
+                seg.checksum,
             )
         elif record.type is WALRecordType.CHECKPOINT:
             if not record.payload:
@@ -212,7 +218,7 @@ def recover_node(crashed: StorageNode) -> StorageNode:
             index = PageIndex()
             for fields in snap_entries:
                 (page_no, lba, n_blocks, payload_len, status_id, algo_id,
-                 applied_lsn, segment_id, page_in_segment) = fields
+                 applied_lsn, segment_id, page_in_segment, checksum) = fields
                 index.put(
                     page_no,
                     IndexEntry(
@@ -224,6 +230,7 @@ def recover_node(crashed: StorageNode) -> StorageNode:
                             page_in_segment if segment_id else None
                         ),
                         applied_lsn=applied_lsn,
+                        checksum=checksum,
                     ),
                 )
             segments = {meta.segment_id: meta for meta in snap_segments}

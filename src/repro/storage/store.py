@@ -22,7 +22,12 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.common.errors import RaftError, ReproError
+from repro.common.errors import (
+    DeviceUnavailableError,
+    PageCorruptionError,
+    RaftError,
+    ReproError,
+)
 from repro.common.units import DB_PAGE_SIZE, MiB
 from repro.csd.device import BlockDevice, PlainSSD, PolarCSD
 from repro.csd.specs import (
@@ -141,6 +146,15 @@ class PolarStore:
             for i in range(replicas)
         ]
         self._alive = [True] * replicas
+        #: Pages each replica missed while down or while its device was
+        #: failing: its copy (if any) is stale, so it is excluded from
+        #: hedged reads and repair sourcing until resynced.
+        self._missed: List[set] = [set() for _ in range(replicas)]
+        #: Chaos fault plan (when armed) — its ledger attributes detected
+        #: corruption back to the injected fault kind.
+        self.chaos_plan = None
+        #: Leader reads slower than this are hedged to a follower.
+        self.hedge_after_us = 4000.0
         # Commit-latency distributions, bounded (the seed kept raw
         # unbounded lists here); list(...)/len()/clear() still work.
         self.redo_commit_stats = self.metrics.series(
@@ -172,13 +186,81 @@ class PolarStore:
     def quorum(self) -> int:
         return len(self.nodes) // 2 + 1
 
+    def attach_chaos(self, plan) -> None:
+        """Register the fault plan whose ledger attributes corruption."""
+        self.chaos_plan = plan
+
     def fail_node(self, index: int) -> None:
+        """Take a follower replica down (crash: loses all RAM state)."""
         if index == 0:
             raise ReproError("leader failover is out of scope")
+        if not self._alive[index]:
+            raise ReproError(f"node {index} is already failed")
         self._alive[index] = False
 
-    def recover_node(self, index: int) -> None:
+    def recover_node(self, index: int, now_us: float = 0.0) -> float:
+        """Rejoin a failed replica through real crash recovery.
+
+        The node's in-memory state (allocator, index, caches, redo cache)
+        is *rebuilt from its WAL* via :func:`repro.storage.recovery
+        .recover_node` — trusting the pre-crash in-memory objects would
+        hide exactly the class of bugs recovery exists to catch.  Pages
+        written while the replica was down are then resynced from the
+        leader.  Returns the simulated completion time.
+        """
+        if self._alive[index]:
+            raise ReproError(f"node {index} is not failed")
+        from repro.storage.recovery import recover_node as _wal_recover
+
+        rebuilt = _wal_recover(self.nodes[index], metrics=self.metrics)
+        self.nodes[index] = rebuilt
         self._alive[index] = True
+        self.metrics.counter("chaos.wal_replays", node=rebuilt.name).add(1)
+        return self._resync_node(index, now_us)
+
+    def _resync_node(self, index: int, now_us: float) -> float:
+        """Copy every missed page from a healthy replica onto ``index``.
+
+        Pages stay in ``_missed[index]`` until their copy lands, so the
+        read path never mistakes this node's stale-but-checksummed copy
+        for a good repair source mid-resync.  The good image comes from
+        the *verified* store read (the source copy itself may be bit-rot
+        damaged and need repair first).
+        """
+        node = self.nodes[index]
+        now = now_us
+        with self.metrics.tracer.suppressed():
+            for page_no in sorted(self._missed[index]):
+                if self.leader.index.get(page_no) is None:
+                    self._missed[index].discard(page_no)
+                    continue
+                try:
+                    good = self.read_page(now, page_no)
+                except PageCorruptionError:
+                    continue  # no healthy copy right now; stays queued
+                entry = self.leader.index.get(page_no)
+                try:
+                    result = node.repair_page(
+                        good.done_us, page_no, good.data,
+                        applied_lsn=entry.applied_lsn if entry else 0,
+                    )
+                except DeviceUnavailableError:
+                    break  # still down: the rest stays queued for later
+                self._missed[index].discard(page_no)
+                now = result.done_us
+                self.metrics.counter(
+                    "chaos.resynced_pages", node=node.name
+                ).add(1)
+        return now
+
+    def resync_missed(self, now_us: float) -> float:
+        """Resync stale pages on replicas that stayed up through a device
+        outage (their writes were dropped, not their process)."""
+        now = now_us
+        for i in range(1, len(self.nodes)):
+            if self._alive[i] and self._missed[i]:
+                now = max(now, self._resync_node(i, now_us))
+        return now
 
     # ------------------------------------------------------------------ #
     # Write path                                                          #
@@ -193,8 +275,14 @@ class PolarStore:
         cpu_utilization: float = 0.0,
         update_percent: float = 1.0,
         force_codec: Optional[str] = None,
+        applied_lsn: int = 0,
     ) -> CommittedWrite:
-        """Figure 4 steps 1–4: compress, replicate, persist, commit."""
+        """Figure 4 steps 1–4: compress, replicate, persist, commit.
+
+        ``applied_lsn`` is the page's LSN high-water mark: redo at or
+        below it is already folded into ``data`` and must never be
+        re-applied over this image.
+        """
         if mode is CompressionMode.HEAVY:
             raise ReproError("use archive_range() for heavy compression")
         tracer = self.metrics.tracer
@@ -210,7 +298,9 @@ class PolarStore:
 
         after_compress = start_us + prepared.cpu_us
         tracer.end(sp, after_compress)
-        commit = self._replicate_page(after_compress, page_no, prepared)
+        commit = self._replicate_page(
+            after_compress, page_no, prepared, applied_lsn
+        )
         tracer.end(root, commit)
         self.page_write_commit_stats.append(commit - start_us)
         self._commit_rate.record(commit)
@@ -230,10 +320,17 @@ class PolarStore:
         )
 
     def _replicate_page(
-        self, start_us: float, page_no: int, prepared: PreparedWrite
+        self,
+        start_us: float,
+        page_no: int,
+        prepared: PreparedWrite,
+        applied_lsn: int = 0,
     ) -> float:
         tracer = self.metrics.tracer
-        leader_done = self.leader.write_page_local(start_us, page_no, prepared).done_us
+        self._require_quorum()
+        leader_done = self.leader.write_page_local(
+            start_us, page_no, prepared, applied_lsn=applied_lsn
+        ).done_us
         send = self.network.rpc_us(len(prepared.payload))
         ack = self.network.rpc_us(64)
         acks: List[float] = []
@@ -242,15 +339,34 @@ class PolarStore:
         with tracer.suppressed():
             for i, node in enumerate(self.nodes[1:], start=1):
                 if not self._alive[i]:
+                    self._missed[i].add(page_no)
                     continue
-                done = node.write_page_local(
-                    start_us + send, page_no, prepared
-                ).done_us
+                try:
+                    done = node.write_page_local(
+                        start_us + send, page_no, prepared,
+                        applied_lsn=applied_lsn,
+                    ).done_us
+                except DeviceUnavailableError:
+                    self._missed[i].add(page_no)
+                    continue
+                # A full fresh copy supersedes any older missed version:
+                # this follower is current for the page again, and may
+                # serve as a repair source for it.
+                self._missed[i].discard(page_no)
                 acks.append(done + ack)
         commit = self._commit_time(leader_done, acks)
         sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
         tracer.end(sp, commit)
         return commit
+
+    def _require_quorum(self) -> None:
+        """Refuse before mutating any replica when quorum is already known
+        to be lost: writing the leader first would leave an orphaned local
+        copy of an update that never committed — unreadable garbage no
+        healthy replica can repair."""
+        alive = sum(self._alive)
+        if alive < self.quorum:
+            raise RaftError(f"no quorum: {alive}/{len(self.nodes)} alive")
 
     def _commit_time(self, leader_done: float, acks: List[float]) -> float:
         alive = 1 + len(acks)
@@ -269,6 +385,7 @@ class PolarStore:
         """Replicated non-page-aligned write (no-compression mode rule:
         decompress existing, splice, store uncompressed)."""
         tracer = self.metrics.tracer
+        self._require_quorum()
         root = tracer.begin("storage.partial_write", start_us, layer="storage")
         leader_done = self.leader.write_partial(
             start_us, page_no, offset, data
@@ -279,10 +396,15 @@ class PolarStore:
         with tracer.suppressed():
             for i, node in enumerate(self.nodes[1:], start=1):
                 if not self._alive[i]:
+                    self._missed[i].add(page_no)
                     continue
-                done = node.write_partial(
-                    start_us + send, page_no, offset, data
-                ).done_us
+                try:
+                    done = node.write_partial(
+                        start_us + send, page_no, offset, data
+                    ).done_us
+                except DeviceUnavailableError:
+                    self._missed[i].add(page_no)
+                    continue
                 acks.append(done + ack)
         commit = self._commit_time(leader_done, acks)
         sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
@@ -296,6 +418,7 @@ class PolarStore:
         """Replicated redo persistence (the transaction-commit path)."""
         blob = encode_records(records)
         tracer = self.metrics.tracer
+        self._require_quorum()
         root = tracer.begin("storage.redo_commit", start_us, layer="storage")
         leader_done = self.leader.persist_redo(start_us, blob)
         send = self.network.rpc_us(len(blob))
@@ -304,8 +427,14 @@ class PolarStore:
         with tracer.suppressed():
             for i, node in enumerate(self.nodes[1:], start=1):
                 if not self._alive[i]:
+                    self._missed[i].update(r.page_no for r in records)
                     continue
-                acks.append(node.persist_redo(start_us + send, blob) + ack)
+                try:
+                    acks.append(
+                        node.persist_redo(start_us + send, blob) + ack
+                    )
+                except DeviceUnavailableError:
+                    self._missed[i].update(r.page_no for r in records)
         commit = self._commit_time(leader_done, acks)
         sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
         tracer.end(sp, commit)
@@ -315,8 +444,28 @@ class PolarStore:
         # spans would overlap the committed request).
         with tracer.suppressed():
             for i, node in enumerate(self.nodes):
-                if self._alive[i]:
-                    node.add_redo(commit, list(records))
+                if not self._alive[i]:
+                    self._missed[i].update(r.page_no for r in records)
+                    continue
+                for _ in range(16):
+                    try:
+                        node.add_redo(commit, list(records))
+                        break
+                    except DeviceUnavailableError:
+                        if i == 0:
+                            raise  # leader loss is out of scope
+                        self._missed[i].update(
+                            r.page_no for r in records
+                        )
+                        break
+                    except PageCorruptionError as err:
+                        # A spill-triggered consolidation tripped over a
+                        # corrupt page: repair it, then retry.  Duplicate
+                        # records from the retry are deduplicated by LSN
+                        # at apply time.
+                        self._read_with_repair(
+                            commit, err.page_no, i, err
+                        )
         self.redo_commit_stats.append(commit - start_us)
         self._commit_rate.record(commit)
         return commit
@@ -327,10 +476,25 @@ class PolarStore:
         # Replicas archive concurrently; span attribution tracks the leader.
         with self.metrics.tracer.suppressed():
             for i, node in enumerate(self.nodes):
-                if self._alive[i]:
-                    done = max(
-                        done, node.archive_range(start_us, list(page_nos))
-                    )
+                if not self._alive[i]:
+                    self._missed[i].update(page_nos)
+                    continue
+                for _ in range(64):
+                    try:
+                        done = max(
+                            done,
+                            node.archive_range(start_us, list(page_nos)),
+                        )
+                        break
+                    except DeviceUnavailableError:
+                        if i == 0:
+                            raise
+                        self._missed[i].update(page_nos)
+                        break
+                    except PageCorruptionError as err:
+                        self._read_with_repair(
+                            start_us, err.page_no, i, err
+                        )
         return done
 
     def checkpoint(self, start_us: float) -> float:
@@ -338,8 +502,25 @@ class PolarStore:
         done = start_us
         with self.metrics.tracer.suppressed():
             for i, node in enumerate(self.nodes):
-                if self._alive[i]:
-                    done = max(done, node.consolidate_pending(start_us))
+                if not self._alive[i]:
+                    continue
+                for _ in range(256):
+                    try:
+                        done = max(
+                            done, node.consolidate_pending(start_us)
+                        )
+                        break
+                    except DeviceUnavailableError:
+                        if i == 0:
+                            raise
+                        # Un-consolidated redo stays cached for later.
+                        break
+                    except PageCorruptionError as err:
+                        # Consolidation read a corrupt base page or log
+                        # block: repair from a healthy replica, retry.
+                        self._read_with_repair(
+                            start_us, err.page_no, i, err
+                        )
         return done
 
     # ------------------------------------------------------------------ #
@@ -347,9 +528,148 @@ class PolarStore:
     # ------------------------------------------------------------------ #
 
     def read_page(self, start_us: float, page_no: int) -> ReadResult:
-        """Reads are served by the leader (compute nodes pick a replica;
-        using the leader keeps the simulation deterministic)."""
-        return self.leader.read_page(start_us, page_no)
+        """Read with end-to-end verification (leader first).
+
+        Every page copy carries a CRC-32 computed above the device, so a
+        bit flip, torn write, dropped write, or misdirected write anywhere
+        below surfaces here as :class:`PageCorruptionError`.  On detection
+        the read transparently falls over to a healthy replica, rewrites
+        the bad copies from the good image, and counts the repair.  Reads
+        slower than ``hedge_after_us`` are hedged to a follower.
+        """
+        try:
+            result = self.leader.read_page(start_us, page_no)
+        except PageCorruptionError as err:
+            return self._read_with_repair(start_us, page_no, 0, err)
+        if (
+            self.hedge_after_us > 0
+            and len(self.nodes) > 1
+            and result.done_us - start_us > self.hedge_after_us
+        ):
+            result = self._hedged_read(start_us, page_no, result)
+        return result
+
+    def _hedged_read(
+        self, start_us: float, page_no: int, leader_result: ReadResult
+    ) -> ReadResult:
+        """Fire a backup read at a follower after the hedge timeout; the
+        earlier completion wins (the slow-I/O mitigation of §4.1.1)."""
+        hedge_start = start_us + self.hedge_after_us
+        for i in range(1, len(self.nodes)):
+            if not self._alive[i] or page_no in self._missed[i]:
+                continue
+            try:
+                with self.metrics.tracer.suppressed():
+                    mirror = self.nodes[i].read_page(hedge_start, page_no)
+            except ReproError:
+                continue  # corrupt/missing there: the scrubber's problem
+            self.metrics.counter("chaos.hedged_reads").add(1)
+            if mirror.done_us < leader_result.done_us:
+                self.metrics.counter("chaos.hedge_wins").add(1)
+                return mirror
+            return leader_result
+        return leader_result
+
+    def _attribute(self, err: PageCorruptionError) -> str:
+        """Fault-kind label for a detected corruption (via the ledger)."""
+        if self.chaos_plan is not None:
+            kind = self.chaos_plan.ledger.kind_for_node(
+                err.node, err.lba, err.n_blocks
+            )
+            if kind is not None:
+                return kind.value
+        return "unknown"
+
+    def _read_with_repair(
+        self,
+        start_us: float,
+        page_no: int,
+        bad_index: int,
+        first_err: PageCorruptionError,
+    ) -> ReadResult:
+        """Serve a read despite corruption, then repair every bad copy."""
+        tracer = self.metrics.tracer
+        bad = [(bad_index, first_err)]
+        good: Optional[ReadResult] = None
+        good_index = -1
+        for i, node in enumerate(self.nodes):
+            if (
+                i == bad_index
+                or not self._alive[i]
+                or page_no in self._missed[i]
+            ):
+                continue
+            try:
+                with tracer.suppressed():
+                    candidate = node.read_page(start_us, page_no)
+                good, good_index = candidate, i
+                break
+            except PageCorruptionError as err:
+                bad.append((i, err))
+            except (DeviceUnavailableError, ReproError):
+                continue
+        kinds = {i: self._attribute(err) for i, err in bad}
+        for i, _ in bad:
+            self.metrics.counter("chaos.detected", kind=kinds[i]).add(1)
+        if good is None:
+            for i, _ in bad:
+                self.metrics.counter(
+                    "chaos.unrepairable", kind=kinds[i]
+                ).add(1)
+            raise first_err
+        entry = self.nodes[good_index].index.get(page_no)
+        applied = entry.applied_lsn if entry else 0
+        with tracer.suppressed():
+            for i, err in bad:
+                try:
+                    self.nodes[i].repair_page(
+                        good.done_us, page_no, good.data, applied_lsn=applied
+                    )
+                except DeviceUnavailableError:
+                    self.metrics.counter(
+                        "chaos.unrepairable", kind=kinds[i]
+                    ).add(1)
+                    continue
+                if self.chaos_plan is not None:
+                    self.chaos_plan.ledger.clear_node(
+                        err.node, err.lba, err.n_blocks
+                    )
+                self.metrics.counter("chaos.repaired", kind=kinds[i]).add(1)
+        return good
+
+    def scrub(self, start_us: float) -> float:
+        """Background scrubber: checksum-verify every replica copy of
+        every indexed page, repairing damage found.  Returns the
+        simulated completion time."""
+        now = self.resync_missed(start_us)
+        pages: set = set()
+        for i, node in enumerate(self.nodes):
+            if self._alive[i]:
+                pages.update(p for p, _ in node.index.items())
+        for page_no in sorted(pages):
+            for i, node in enumerate(self.nodes):
+                if not self._alive[i] or page_no in self._missed[i]:
+                    continue
+                has_copy = (
+                    node.index.get(page_no) is not None
+                    or node.redo_cache.get(page_no)
+                    or node.log_store.blocks_for(page_no) > 0
+                )
+                if not has_copy:
+                    continue
+                self.metrics.counter("chaos.scrub_pages").add(1)
+                # Bypass the page cache: scrubbing verifies the *device*.
+                node.page_cache.remove(page_no)
+                try:
+                    with self.metrics.tracer.suppressed():
+                        result = node.read_page(now, page_no)
+                    now = result.done_us
+                except PageCorruptionError as err:
+                    result = self._read_with_repair(now, page_no, i, err)
+                    now = result.done_us
+                except DeviceUnavailableError:
+                    continue  # device down: scrub this copy next round
+        return now
 
     # ------------------------------------------------------------------ #
     # Space                                                               #

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.checksum import crc32
-from repro.common.errors import WALError
+from repro.common.errors import TornWALError, WALError
 
 _HEADER = struct.Struct("<IQBI")
 
@@ -84,12 +84,13 @@ class WriteAheadLog:
         applied_lsn: int = 0,
         segment_id: int = 0,
         page_in_segment: int = 0,
+        checksum: int = 0,
     ) -> int:
         payload = struct.pack(
-            "<QQIIBBQQI",
+            "<QQIIBBQQII",
             page_no, lba, n_blocks, payload_len,
             status, self.ALGORITHMS.get(algorithm, 0), applied_lsn,
-            segment_id, page_in_segment,
+            segment_id, page_in_segment, checksum,
         )
         return self.append(WALRecordType.INDEX_PUT, payload)
 
@@ -113,9 +114,10 @@ class WriteAheadLog:
     def append_segment(
         self, segment_id: int, compressed_len: int,
         pieces: Sequence[Tuple[int, int]], page_nos: Sequence[int],
+        checksum: int = 0,
     ) -> int:
-        payload = struct.pack("<QQII", segment_id, compressed_len,
-                              len(pieces), len(page_nos))
+        payload = struct.pack("<QQIII", segment_id, compressed_len,
+                              len(pieces), len(page_nos), checksum)
         for lba, blocks in pieces:
             payload += struct.pack("<QI", lba, blocks)
         for page_no in page_nos:
@@ -125,18 +127,31 @@ class WriteAheadLog:
     # -- replay -------------------------------------------------------------------
 
     def replay(self) -> Iterator[WALRecord]:
-        """Yield all retained records in LSN order, verifying CRCs."""
-        for encoded in self._records:
-            yield self._decode(encoded)
+        """Yield all retained records in LSN order, verifying CRCs.
+
+        A *torn* record (cut short mid-append by a crash) is tolerated
+        only at the tail of the log: the append was never acknowledged,
+        so replay simply stops there.  The same truncation — or a CRC
+        mismatch — anywhere else means a committed record was damaged
+        and raises :class:`WALError`.
+        """
+        last = len(self._records) - 1
+        for i, encoded in enumerate(self._records):
+            try:
+                yield self._decode(encoded)
+            except TornWALError:
+                if i == last:
+                    return
+                raise
 
     @staticmethod
     def _decode(encoded: bytes) -> WALRecord:
         if len(encoded) < _HEADER.size:
-            raise WALError("truncated WAL record header")
+            raise TornWALError("truncated WAL record header")
         crc, lsn, rtype, length = _HEADER.unpack_from(encoded)
         payload = encoded[_HEADER.size : _HEADER.size + length]
         if len(payload) != length:
-            raise WALError(f"truncated WAL payload at LSN {lsn}")
+            raise TornWALError(f"truncated WAL payload at LSN {lsn}")
         expected = crc32(encoded[4 : _HEADER.size] + payload)
         if crc != expected:
             raise WALError(f"WAL CRC mismatch at LSN {lsn}")
@@ -169,6 +184,14 @@ class WriteAheadLog:
         encoded[-1] ^= 0xFF
         self._records[index] = bytes(encoded)
 
+    def tear_tail(self, drop_bytes: int = 1) -> None:
+        """Cut ``drop_bytes`` off the final record, simulating a crash
+        mid-append (fault injection; replay must ignore the torn tail)."""
+        if not self._records:
+            raise WALError("cannot tear an empty WAL")
+        tail = self._records[-1]
+        self._records[-1] = tail[: max(0, len(tail) - drop_bytes)]
+
     @property
     def record_count(self) -> int:
         return len(self._records)
@@ -189,15 +212,18 @@ class IndexPutRecord:
     applied_lsn: int
     segment_id: int
     page_in_segment: int
+    checksum: int = 0
 
 
 def decode_index_put(payload: bytes) -> IndexPutRecord:
     (page_no, lba, n_blocks, payload_len, status, algo_id, applied_lsn,
-     segment_id, page_in_segment) = struct.unpack("<QQIIBBQQI", payload)
+     segment_id, page_in_segment, checksum) = struct.unpack(
+        "<QQIIBBQQII", payload
+    )
     return IndexPutRecord(
         page_no, lba, n_blocks, payload_len, status,
         WriteAheadLog.ALGORITHM_NAMES.get(algo_id), applied_lsn,
-        segment_id, page_in_segment,
+        segment_id, page_in_segment, checksum,
     )
 
 
@@ -218,13 +244,14 @@ class SegmentRecord:
     compressed_len: int
     pieces: Tuple[Tuple[int, int], ...]
     page_nos: Tuple[int, ...]
+    checksum: int = 0
 
 
 def decode_segment(payload: bytes) -> SegmentRecord:
-    segment_id, compressed_len, n_pieces, n_pages = struct.unpack_from(
-        "<QQII", payload
+    segment_id, compressed_len, n_pieces, n_pages, checksum = (
+        struct.unpack_from("<QQIII", payload)
     )
-    pos = struct.calcsize("<QQII")
+    pos = struct.calcsize("<QQIII")
     pieces = []
     for _ in range(n_pieces):
         lba, blocks = struct.unpack_from("<QI", payload, pos)
@@ -235,5 +262,5 @@ def decode_segment(payload: bytes) -> SegmentRecord:
         page_nos.append(struct.unpack_from("<Q", payload, pos)[0])
         pos += 8
     return SegmentRecord(
-        segment_id, compressed_len, tuple(pieces), tuple(page_nos)
+        segment_id, compressed_len, tuple(pieces), tuple(page_nos), checksum
     )

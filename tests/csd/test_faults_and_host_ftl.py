@@ -8,6 +8,8 @@ from repro.csd.faults import (
     PLAIN_SSD_FAULTS,
     POLARCSD1_FAULTS,
     POLARCSD2_FAULTS,
+    FaultCause,
+    FaultProfile,
     profile_for,
 )
 from repro.csd.host_ftl import (
@@ -91,3 +93,55 @@ def test_contention_risk_validates_inputs():
     footprint = host_ftl_footprint(POLARCSD1, 1)
     with pytest.raises(ValueError):
         contention_risk(footprint, 0, 10)
+
+
+# -- sample_extra_us edge cases ------------------------------------------------
+
+
+def _profile(read_p, write_p=None, median_us=5_000.0):
+    write_p = read_p if write_p is None else write_p
+    return FaultProfile(
+        name="edge",
+        read_causes=(FaultCause("r", read_p, median_us=median_us, sigma=0.5),),
+        write_causes=(
+            FaultCause("w", write_p, median_us=median_us, sigma=0.5),
+        ),
+    )
+
+
+def test_sample_extra_us_count_zero_returns_empty():
+    profile = _profile(0.5)
+    for is_read in (True, False):
+        extra = profile.sample_extra_us(
+            np.random.default_rng(0), 0, is_read
+        )
+        assert extra.shape == (0,)
+        assert extra.sum() == 0.0
+
+
+def test_sample_extra_us_probability_zero_never_spikes():
+    profile = _profile(0.0)
+    extra = profile.sample_extra_us(np.random.default_rng(0), 4096, True)
+    assert not extra.any()
+
+
+def test_sample_extra_us_probability_one_always_spikes():
+    profile = _profile(1.0)
+    extra = profile.sample_extra_us(np.random.default_rng(0), 1024, False)
+    assert (extra > 0.0).all()
+    # Lognormal around the median: the sample median lands near it.
+    assert 2_500.0 < float(np.median(extra)) < 10_000.0
+
+
+def test_sample_extra_us_deterministic_under_fixed_seed():
+    profile = _profile(0.3)
+    a = profile.sample_extra_us(np.random.default_rng(9), 512, True)
+    b = profile.sample_extra_us(np.random.default_rng(9), 512, True)
+    assert np.array_equal(a, b)
+
+
+def test_read_and_write_causes_are_independent():
+    profile = _profile(read_p=1.0, write_p=0.0)
+    rng = np.random.default_rng(0)
+    assert profile.sample_extra_us(rng, 64, True).all()
+    assert not profile.sample_extra_us(rng, 64, False).any()

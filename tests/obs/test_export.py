@@ -69,3 +69,88 @@ def test_prometheus_lines_are_well_formed():
     )
     for line in to_prometheus(_sample_registry()).strip().splitlines():
         assert line_re.match(line), line
+
+
+# -- chaos counters flow through both exporters --------------------------------
+
+
+def _chaos_registry() -> MetricsRegistry:
+    """A registry shaped like a post-chaos-run volume's."""
+    reg = MetricsRegistry()
+    reg.counter("chaos.injected", kind="bit_flip", device="node-0:data").inc(4)
+    reg.counter("chaos.injected", kind="torn_write", device="node-0:data").inc(2)
+    reg.counter("chaos.detected", kind="bit_flip").inc(3)
+    reg.counter("chaos.repaired", kind="bit_flip").inc(3)
+    reg.counter("chaos.unrepairable", kind="torn_write").inc(1)
+    reg.counter("chaos.hedged_reads").inc(2)
+    reg.counter("chaos.wal_replays", node="node-2").inc(1)
+    reg.counter("chaos.resynced_pages", node="node-2").inc(17)
+    reg.counter("chaos.scrub_pages", node="node-1").inc(64)
+    return reg
+
+
+def test_json_exports_chaos_counters_with_labels():
+    doc = json.loads(to_json(_chaos_registry()))
+    chaos = [
+        i for i in doc["instruments"] if i["name"].startswith("chaos.")
+    ]
+    assert len(chaos) == 9
+    assert all(i["type"] == "counter" for i in chaos)
+    by_key = {
+        (i["name"], tuple(sorted(i["labels"].items()))): i["value"]
+        for i in chaos
+    }
+    assert by_key[(
+        "chaos.injected",
+        (("device", "node-0:data"), ("kind", "bit_flip")),
+    )] == 4.0
+    assert by_key[("chaos.repaired", (("kind", "bit_flip"),))] == 3.0
+    assert by_key[("chaos.resynced_pages", (("node", "node-2"),))] == 17.0
+
+
+def test_prometheus_exports_chaos_counters_with_labels():
+    text = to_prometheus(_chaos_registry())
+    assert "# TYPE chaos_injected counter" in text
+    assert (
+        'chaos_injected{device="node-0:data",kind="bit_flip"} 4' in text
+    )
+    assert 'chaos_detected{kind="bit_flip"} 3' in text
+    assert 'chaos_unrepairable{kind="torn_write"} 1' in text
+    assert "chaos_hedged_reads 2" in text
+    assert 'chaos_wal_replays{node="node-2"} 1' in text
+
+
+def test_live_chaos_run_exports_in_both_formats():
+    """End to end: damage a real replicated write, let the read path
+    repair it, and check the counters surface in both exports."""
+    from repro.chaos.plan import FaultKind, FaultPlan, FaultRule
+    from repro.common.units import DB_PAGE_SIZE, MiB
+    from repro.storage.node import NodeConfig
+    from repro.storage.store import PolarStore
+
+    import numpy as np
+
+    store = PolarStore(NodeConfig(), volume_bytes=64 * MiB, seed=0)
+    plan = FaultPlan(seed=1)
+    plan.add(
+        FaultRule(
+            FaultKind.TORN_WRITE,
+            scope=f"{store.leader.name}:data",
+            max_count=1,
+        )
+    )
+    plan.attach_to_store(store)
+    page = np.random.default_rng(0).integers(
+        0, 256, DB_PAGE_SIZE, dtype=np.uint8
+    ).tobytes()
+    now = store.write_page(0.0, 1, page).commit_us
+    store.leader.page_cache.remove(1)
+    assert store.read_page(now, 1).data == page
+
+    doc = json.loads(to_json(store.metrics))
+    names = {i["name"] for i in doc["instruments"]}
+    assert {"chaos.injected", "chaos.detected", "chaos.repaired"} <= names
+
+    text = to_prometheus(store.metrics)
+    assert 'chaos_detected{kind="torn_write"} 1' in text
+    assert 'chaos_repaired{kind="torn_write"} 1' in text

@@ -247,3 +247,83 @@ def test_recovered_node_accepts_new_traffic():
     twice = crash_and_recover(recovered)
     for i in range(10):
         assert twice.read_page(now, i).data == make_page(i)
+
+
+# -- torn WAL tails (crash mid-append) -----------------------------------------
+
+
+def test_recovery_ignores_torn_wal_tail():
+    """A record cut short mid-append was never acknowledged: replay stops
+    there and every earlier write survives."""
+    node = build_node("tt1", NodeConfig(), volume_bytes=64 * MiB)
+    now = 0.0
+    for i in range(6):
+        now = node.write_page(now, i, make_page(i)).done_us
+    node.wal.tear_tail(3)
+    recovered = crash_and_recover(node)
+    # Pages 0..4 committed long before the torn record; page 5's final
+    # WAL record may be the torn one, so no claim is made about it.
+    for i in range(5):
+        assert recovered.read_page(now, i).data == make_page(i)
+
+
+def test_torn_tail_replay_is_idempotent():
+    """Recovering twice from the same torn log converges to one state."""
+    node = build_node("tt2", NodeConfig(), volume_bytes=64 * MiB)
+    now = 0.0
+    for i in range(8):
+        now = node.write_page(now, i, make_page(i + 40)).done_us
+    node.wal.tear_tail(5)
+    once = crash_and_recover(node)
+    twice = crash_and_recover(once)
+    assert len(once.index) == len(twice.index)
+    for i in range(7):
+        assert once.read_page(now, i).data == make_page(i + 40)
+        assert twice.read_page(now, i).data == make_page(i + 40)
+
+
+def test_checkpoint_round_trip_with_torn_tail():
+    """Checkpoint snapshot + WAL suffix + torn tail: the snapshot and all
+    fully-appended post-checkpoint records replay; the tail is dropped."""
+    from repro.storage.recovery import take_checkpoint
+
+    node = build_node("tt3", NodeConfig(), volume_bytes=64 * MiB)
+    now = 0.0
+    for i in range(10):
+        now = node.write_page(now, i, make_page(i)).done_us
+    take_checkpoint(node)
+    for i in range(10, 14):
+        now = node.write_page(now, i, make_page(i)).done_us
+    node.wal.tear_tail(4)
+    recovered = crash_and_recover(node)
+    for i in range(13):
+        assert recovered.read_page(now, i).data == make_page(i)
+
+
+def test_truncated_committed_record_raises():
+    """Truncation is tolerated only at the tail: the same damage on a
+    record that has successors means committed data was lost."""
+    node = build_node("tt4", NodeConfig(), volume_bytes=64 * MiB)
+    now = node.write_page(0.0, 1, make_page(1)).done_us
+    node.wal.tear_tail(2)
+    # A later append demotes the torn record to "committed" territory.
+    node.write_page(now, 2, make_page(2))
+    with pytest.raises(WALError):
+        crash_and_recover(node)
+
+
+def test_corrupt_committed_record_raises_after_checkpoint():
+    """Bit rot inside the retained WAL suffix must fail loudly, not be
+    silently skipped like a torn tail."""
+    from repro.storage.recovery import take_checkpoint
+
+    node = build_node("tt5", NodeConfig(), volume_bytes=64 * MiB)
+    now = 0.0
+    for i in range(4):
+        now = node.write_page(now, i, make_page(i)).done_us
+    take_checkpoint(node)
+    for i in range(4, 8):
+        now = node.write_page(now, i, make_page(i)).done_us
+    node.wal.corrupt_record(node.wal.record_count - 2)
+    with pytest.raises(WALError):
+        crash_and_recover(node)

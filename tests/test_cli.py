@@ -59,3 +59,29 @@ def test_no_command_shows_help(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_chaos_smoke_passes_and_reports(capsys):
+    assert main([
+        "chaos", "--seed", "3", "--ops", "160", "--min-faults", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos run: seed=3" in out
+    assert "all invariants held" in out
+
+
+def test_chaos_metrics_flag_appends_json_snapshot(capsys):
+    assert main([
+        "chaos", "--seed", "3", "--ops", "120", "--min-faults", "1",
+        "--metrics",
+    ]) == 0
+    out = capsys.readouterr().out
+    import json
+
+    doc = json.loads(out[out.index("{"):])
+    names = {i["name"] for i in doc["instruments"]}
+    assert any(n.startswith("chaos.") for n in names)
+
+
+def test_chaos_rejects_tiny_op_counts(capsys):
+    assert main(["chaos", "--ops", "10"]) == 2
