@@ -18,6 +18,10 @@ Commands
     misdirected writes, slow I/O, device failure, replica crash +
     rejoin, quorum loss) against a replicated volume and assert the
     durability invariants.  Exit 0 iff every invariant held.
+``bench``
+    Run a trimmed, deterministic profile of a thread-scaling figure
+    (Fig 12 cluster sweep or Fig 15 per-page log) on the event-driven
+    stack and persist its table + JSON artifact.
 """
 
 from __future__ import annotations
@@ -196,6 +200,14 @@ def cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.figures import FIGURES
+
+    runner = FIGURES[args.fig]
+    runner(out_dir=args.out, quick=args.quick)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -247,6 +259,23 @@ def main(argv=None) -> int:
         "--metrics", action="store_true",
         help="also dump the final metric snapshot as JSON",
     )
+    bench_p = sub.add_parser(
+        "bench",
+        help="run a deterministic thread-scaling figure profile",
+    )
+    bench_p.add_argument(
+        "--fig", choices=("12", "15"), required=True,
+        help="which figure to profile (12: cluster sweep, 15: per-page log)",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="trimmed budgets for smoke/CI runs (recommended)",
+    )
+    bench_p.add_argument(
+        "--out", default=None,
+        help="directory for the table + JSON artifacts "
+             "(default: benchmarks/results)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -254,6 +283,7 @@ def main(argv=None) -> int:
         "experiments": cmd_experiments,
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
+        "bench": cmd_bench,
     }
     if args.command is None:
         parser.print_help()

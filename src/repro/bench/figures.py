@@ -1,0 +1,165 @@
+"""Self-contained figure profiles for ``python -m repro bench``.
+
+Trimmed, deterministic versions of the thread-scaling figures that ride
+entirely on the event-driven stack (``repro.engine`` under
+``workloads.sysbench``): Figure 12's cluster sweep and Figure 15's
+per-page-log read-latency sweep.  They are sized for smoke runs and CI
+determinism checks — the full-budget versions live in ``benchmarks/``.
+
+Everything here is a pure function of its seed and budgets: the tables
+(and the JSON files :func:`repro.bench.harness.save_result` writes)
+must come out byte-for-byte identical across runs, which CI enforces by
+running each profile twice and diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.harness import ExperimentResult, print_table, save_result
+from repro.common.units import KiB, MiB
+from repro.csd.specs import (
+    OPTANE_P4800X,
+    OPTANE_P5800X,
+    P4510,
+    P5510,
+    POLARCSD1,
+    POLARCSD2,
+)
+from repro.db.database import PolarDB
+from repro.db.ro_node import RONode
+from repro.storage.node import NodeConfig
+from repro.storage.store import PolarStore
+from repro.workloads.sysbench import (
+    WORKLOAD_LABELS,
+    prepare_table,
+    run_sysbench,
+)
+
+#: Table 2 cluster configurations (same shapes as the full Figure 12).
+FIG12_CLUSTERS = {
+    "N1": dict(
+        data_spec=P4510, perf_spec=OPTANE_P4800X,
+        config=NodeConfig(
+            software_compression=False, opt_algorithm_selection=False,
+            opt_per_page_log=False,
+        ),
+    ),
+    "C1": dict(
+        data_spec=POLARCSD1, perf_spec=OPTANE_P4800X,
+        config=NodeConfig(
+            software_compression=False, opt_algorithm_selection=False,
+            opt_per_page_log=False,
+        ),
+    ),
+    "N2": dict(
+        data_spec=P5510, perf_spec=OPTANE_P5800X,
+        config=NodeConfig(
+            software_compression=False, opt_algorithm_selection=False,
+            opt_per_page_log=False,
+        ),
+    ),
+    "C2": dict(
+        data_spec=POLARCSD2, perf_spec=OPTANE_P5800X,
+        config=NodeConfig(),
+    ),
+}
+
+
+def run_fig12_quick(
+    out_dir: Optional[str] = None, quick: bool = True
+) -> ExperimentResult:
+    """Figure 12 smoke profile: every cluster, two workloads, trimmed
+    transaction budgets.  16 concurrent clients per run queue on the
+    shared engine."""
+    rows = 800 if quick else 3000
+    budgets = (
+        {"point_select": 60, "read_write": 12}
+        if quick
+        else {"point_select": 200, "read_write": 30}
+    )
+    result = ExperimentResult(
+        "fig12_quick",
+        "quick sysbench cluster sweep (event-driven, 16 clients)",
+        ["workload", "cluster", "tps", "avg_us", "p95_us"],
+    )
+    for cluster, spec in FIG12_CLUSTERS.items():
+        store = PolarStore(
+            spec["config"], data_spec=spec["data_spec"],
+            perf_spec=spec["perf_spec"], volume_bytes=128 * MiB, seed=3,
+        )
+        db = PolarDB(store=store, buffer_pool_pages=10)
+        now = prepare_table(db, rows=rows, seed=3)
+        for workload, budget in budgets.items():
+            run = run_sysbench(
+                db, workload, duration_s=30.0, threads=16,
+                key_range=rows, start_us=now, seed=11,
+                max_transactions=budget,
+            )
+            now += 40e6
+            result.add(
+                WORKLOAD_LABELS[workload], cluster,
+                round(run.tps, 3),
+                round(run.avg_latency_us, 3),
+                round(run.p95_latency_us, 3),
+            )
+    print_table(result)
+    save_result(result, out_dir)
+    return result
+
+
+def run_fig15_quick(
+    out_dir: Optional[str] = None, quick: bool = True
+) -> ExperimentResult:
+    """Figure 15 smoke profile: lagging RO node, baseline vs per-page
+    log, at a low and a saturating thread count."""
+    rows = 600 if quick else 1500
+    sweep = (16, 128) if quick else (16, 32, 64, 128, 256)
+    burst_txns = 150 if quick else 500
+    read_txns = 60 if quick else 160
+    result = ExperimentResult(
+        "fig15_quick",
+        "quick RO-node P95 sweep, baseline vs per-page log",
+        ["threads", "baseline_p95_us", "perpage_p95_us", "p95_reduction"],
+    )
+    p95 = {}
+    for per_page_log in (False, True):
+        config = NodeConfig(
+            opt_per_page_log=per_page_log,
+            opt_algorithm_selection=False,
+            redo_cache_bytes=8 * KiB,
+        )
+        store = PolarStore(config, volume_bytes=128 * MiB, seed=9)
+        db = PolarDB(store=store, buffer_pool_pages=512, ro_nodes=0)
+        db.ro.append(
+            RONode(store, db.rw, buffer_pool_pages=4, lag_us=1e6,
+                   cpu_cores=2)
+        )
+        now = prepare_table(db, rows=rows, seed=9)
+        for threads in sweep:
+            run_sysbench(
+                db, "update_non_index", duration_s=60.0, threads=16,
+                key_range=rows, start_us=now, seed=31 + threads,
+                max_transactions=burst_txns,
+            )
+            now += 70e6
+            reads = run_sysbench(
+                db, "point_select", duration_s=60.0, threads=threads,
+                key_range=rows, start_us=now, seed=32 + threads,
+                max_transactions=read_txns, ro_index=0,
+            )
+            now += 70e6
+            p95[(per_page_log, threads)] = reads.p95_latency_us
+    for threads in sweep:
+        base = p95[(False, threads)]
+        opt = p95[(True, threads)]
+        result.add(
+            threads, round(base, 3), round(opt, 3),
+            round(1 - opt / base, 5),
+        )
+    print_table(result)
+    save_result(result, out_dir)
+    return result
+
+
+FIGURES = {"12": run_fig12_quick, "15": run_fig15_quick}

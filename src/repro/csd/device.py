@@ -3,8 +3,15 @@
 All devices expose the same NVMe-shaped interface: 4 KB-aligned reads and
 writes addressed by LBA, plus TRIM.  Every operation takes the simulated
 start time and returns an :class:`IOCompletion` carrying the finish time;
-a per-device FIFO :class:`~repro.common.clock.Resource` provides queueing
-so queue-depth effects emerge naturally.
+a per-device FIFO :class:`~repro.engine.Resource` provides queueing so
+queue-depth effects emerge naturally.  The same queue serves two call
+styles: the synchronous :meth:`~BlockDevice.write`/:meth:`~BlockDevice.read`
+adapters (analytic ``serve`` arithmetic, used by legacy entry points and
+single-request tests) and the engine-native
+:meth:`~BlockDevice.write_proc`/:meth:`~BlockDevice.read_proc` generators
+used once :meth:`~BlockDevice.bind_engine` attaches the device to a shared
+:class:`repro.engine.Engine` — concurrent requests then really wait in the
+per-device FIFO and queue-wait histograms feed ``repro.obs``.
 
 ``PolarCSD`` runs every 4 KB logical block through the hardware gzip
 engine and places the compressed payload byte-granularly via the FTL.
@@ -19,7 +26,6 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.common.clock import Resource, ResourcePool
 from repro.common.errors import DeviceError, OutOfSpaceError, ReproError
 from repro.common.latency import LatencyStats
 from repro.common.units import KiB, MiB, is_aligned
@@ -28,6 +34,7 @@ from repro.csd.faults import FaultProfile, profile_for
 from repro.csd.ftl import FTL
 from repro.csd.mapping import L2PEntryCodecV1, L2PEntryCodecV2
 from repro.csd.specs import DeviceSpec
+from repro.engine import Engine, Resource
 from repro.obs.metrics import MetricsRegistry
 
 LBA_SIZE = 4 * KiB
@@ -64,10 +71,7 @@ class BlockDevice:
         registry with the owning node so device latency histograms and
         FTL counters appear in volume-level snapshots."""
         self.spec = spec
-        if parallelism <= 1:
-            self.queue = Resource(spec.name)
-        else:
-            self.queue = ResourcePool(spec.name, parallelism)
+        self.queue = Resource(spec.name, servers=max(1, parallelism))
         self.read_stats = LatencyStats()
         self.write_stats = LatencyStats()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -91,10 +95,36 @@ class BlockDevice:
         )
         #: Data-level chaos injector (repro.chaos); None = no injection.
         self._chaos = None
+        #: Shared discrete-event kernel once bind_engine() is called.
+        #: (Named _sim_engine because PolarCSD.engine is the gzip engine.)
+        self._sim_engine: Optional[Engine] = None
+        #: When True (engine mode), GC relocation cost accrues into
+        #: _pending_gc_us for a background process to drain through the
+        #: device queue instead of being charged inline to the writer.
+        self._defer_gc = False
+        self._pending_gc_us = 0.0
 
     def attach_chaos(self, injector) -> None:
         """Arm a :class:`repro.chaos.DeviceInjector` on this device."""
         self._chaos = injector
+
+    def bind_engine(
+        self,
+        engine: Engine,
+        qd: Optional[int] = None,
+        defer_gc: bool = False,
+    ) -> None:
+        """Attach the device queue to a shared event kernel.
+
+        ``qd`` reconfigures the device's queue depth (how many requests
+        are in service at once); ``defer_gc`` moves FTL relocation cost
+        out of the write path into :attr:`_pending_gc_us` for a
+        background GC process to drain.
+        """
+        self._sim_engine = engine
+        self._defer_gc = defer_gc
+        self.queue.bind_engine(engine, servers=qd)
+        self.queue.bind_metrics(self.metrics, **self.metric_labels)
 
     # -- subclass hooks ----------------------------------------------------
 
@@ -115,8 +145,11 @@ class BlockDevice:
 
     # -- public interface ----------------------------------------------------
 
-    def write(self, start_us: float, lba: int, data: bytes) -> IOCompletion:
-        """Write ``data`` (4 KB-aligned length) at logical block ``lba``."""
+    def _submit_write(self, start_us: float, lba: int, data: bytes) -> float:
+        """Validate, apply chaos/fault effects, persist the payload, and
+        return the request's total service time.  State mutation happens
+        at submission so the payload is durable regardless of when the
+        queue drains (the simulated latency covers the whole operation)."""
         self._check_alignment(len(data))
         if self._chaos is not None:
             self._chaos.begin_io(start_us)
@@ -140,14 +173,15 @@ class BlockDevice:
                     pass
             else:
                 self._store(store_lba, store_data)
-        done = self.queue.serve(start_us, service)
-        self.write_stats.record(done - start_us)
-        self._write_hist.record(done - start_us)
-        self._write_bytes.add(len(data))
-        return IOCompletion(start_us, done)
+        return service
 
-    def read(self, start_us: float, lba: int, nbytes: int) -> IOCompletion:
-        """Read ``nbytes`` (4 KB-aligned) starting at logical block ``lba``."""
+    def _finish_write(self, start_us: float, done_us: float, nbytes: int) -> None:
+        self.write_stats.record(done_us - start_us)
+        self._write_hist.record(done_us - start_us)
+        self._write_bytes.add(nbytes)
+
+    def _submit_read(self, start_us: float, lba: int, nbytes: int):
+        """Validate, load the payload, and return ``(data, service_us)``."""
         self._check_alignment(nbytes)
         if self._chaos is not None:
             self._chaos.begin_io(start_us)
@@ -157,11 +191,58 @@ class BlockDevice:
         service += self._fault_extra(is_read=True)
         if self._chaos is not None:
             service += self._chaos.on_read(start_us, lba, nbytes)
-        done = self.queue.serve(start_us, service)
-        self.read_stats.record(done - start_us)
-        self._read_hist.record(done - start_us)
+        return data, service
+
+    def _finish_read(self, start_us: float, done_us: float, nbytes: int) -> None:
+        self.read_stats.record(done_us - start_us)
+        self._read_hist.record(done_us - start_us)
         self._read_bytes.add(nbytes)
+
+    def write(self, start_us: float, lba: int, data: bytes) -> IOCompletion:
+        """Write ``data`` (4 KB-aligned length) at logical block ``lba``."""
+        service = self._submit_write(start_us, lba, data)
+        done = self.queue.serve(start_us, service)
+        self._finish_write(start_us, done, len(data))
+        return IOCompletion(start_us, done)
+
+    def read(self, start_us: float, lba: int, nbytes: int) -> IOCompletion:
+        """Read ``nbytes`` (4 KB-aligned) starting at logical block ``lba``."""
+        data, service = self._submit_read(start_us, lba, nbytes)
+        done = self.queue.serve(start_us, service)
+        self._finish_read(start_us, done, nbytes)
         return IOCompletion(start_us, done, data)
+
+    # -- engine-native interface ----------------------------------------------
+
+    def write_proc(self, lba: int, data: bytes):
+        """Engine process: queue a write FIFO behind in-flight requests,
+        occupy a device server for its service time, return the
+        :class:`IOCompletion`.  Requires :meth:`bind_engine`."""
+        start_us = self._sim_engine.now_us
+        service = self._submit_write(start_us, lba, data)
+        done = yield from self.queue.process(service)
+        self._finish_write(start_us, done, len(data))
+        return IOCompletion(start_us, done)
+
+    def read_proc(self, lba: int, nbytes: int):
+        """Engine process counterpart of :meth:`read`."""
+        start_us = self._sim_engine.now_us
+        data, service = self._submit_read(start_us, lba, nbytes)
+        done = yield from self.queue.process(service)
+        self._finish_read(start_us, done, nbytes)
+        return IOCompletion(start_us, done, data)
+
+    def gc_proc(self, period_us: float = 500.0):
+        """Daemon process: drain accumulated FTL relocation work
+        (:attr:`_pending_gc_us`) through the device queue, stealing idle
+        device time and interfering with foreground I/O under load."""
+        engine = self._sim_engine
+        while True:
+            yield engine.timeout(period_us)
+            if self._pending_gc_us > 0.0:
+                burst = self._pending_gc_us
+                self._pending_gc_us = 0.0
+                yield from self.queue.process(burst)
 
     # -- helpers --------------------------------------------------------------
 
@@ -284,7 +365,6 @@ class PolarCSD(BlockDevice):
         )
         self.engine = HardwareGzip()
         self._blocks: Dict[int, bytes] = {}
-        self._pending_gc_us = 0.0
 
     # -- service time ---------------------------------------------------------
 
@@ -306,11 +386,17 @@ class PolarCSD(BlockDevice):
             + self.spec.nand_write_us(physical)
         )
         # GC relocation work occupies the device asynchronously; charge it
-        # as extra service so sustained overwrites feel the pressure.
+        # as extra service so sustained overwrites feel the pressure — or,
+        # in engine mode with defer_gc, bank it for the background GC
+        # process to drain through the same queue.
         if relocated:
-            service += self.spec.nand_write_us(relocated) + self.spec.nand_read_us(
+            gc_us = self.spec.nand_write_us(relocated) + self.spec.nand_read_us(
                 relocated
             )
+            if self._defer_gc:
+                self._pending_gc_us += gc_us
+            else:
+                service += gc_us
         return service
 
     def _service_read_us(self, lba: int, nbytes: int) -> float:

@@ -33,6 +33,50 @@ class PolarDB:
         self.ro: List[RONode] = [
             RONode(store, self.rw, buffer_pool_pages) for _ in range(ro_nodes)
         ]
+        self._sim_engine = None
+
+    # -- engine wiring -------------------------------------------------------
+
+    def bind_engine(
+        self,
+        engine,
+        group_commit_window_us: float = 0.0,
+        qd: Optional[int] = None,
+        defer_gc: bool = False,
+    ) -> None:
+        """Run the whole instance on one shared discrete-event kernel:
+        device queues, compute core pools, and the redo group-commit
+        pipeline all serve genuinely concurrent processes (what
+        ``workloads.sysbench`` drives for thread-scaling figures)."""
+        self._sim_engine = engine
+        self.store.bind_engine(
+            engine,
+            group_commit_window_us=group_commit_window_us,
+            qd=qd,
+            defer_gc=defer_gc,
+        )
+        self.rw.bind_engine(engine)
+        for i, ro in enumerate(self.ro):
+            ro.bind_engine(engine, label=str(i))
+
+    # -- engine-native DML (generators; require bind_engine) -----------------
+
+    def insert_proc(self, table: str, key: int, value: bytes):
+        return self.rw.insert_proc(table, key, value)
+
+    def update_proc(self, table: str, key: int, value: bytes):
+        return self.rw.update_proc(table, key, value)
+
+    def delete_proc(self, table: str, key: int):
+        return self.rw.delete_proc(table, key)
+
+    def select_proc(self, table: str, key: int, ro_index: int = -1):
+        if ro_index >= 0:
+            return self.ro[ro_index].select_proc(table, key)
+        return self.rw.select_proc(table, key)
+
+    def range_select_proc(self, table: str, low: int, high: int):
+        return self.rw.range_select_proc(table, low, high)
 
     # -- DDL/DML passthrough ------------------------------------------------
 

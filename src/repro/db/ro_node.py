@@ -10,8 +10,8 @@ storage layer, building up log-cache pressure (the Figure 15 scenario).
 from __future__ import annotations
 
 
-from repro.common.clock import ResourcePool
 from repro.db.btree import descend
+from repro.engine import ResourcePool
 from repro.db.bufferpool import BufferPool, OpContext
 from repro.db.rw_node import EXECUTE_CPU_US, OpResult, RWNode
 
@@ -38,6 +38,17 @@ class RONode:
         #: counts this queue, not the storage I/O, bounds throughput (the
         #: Figure 15 crossover beyond 128 threads).
         self.cpu = ResourcePool("ro-cpu", cpu_cores)
+        self._sim_engine = None
+
+    def bind_engine(self, engine, label: str = "0") -> None:
+        """Attach the core pool to a shared event kernel.  At high thread
+        counts the FIFO wait here — not storage I/O — bounds throughput:
+        the Figure 15 CPU-bound crossover emerges from this queue."""
+        self._sim_engine = engine
+        self.cpu.bind_engine(engine)
+        registry = getattr(self.store, "metrics", None)
+        if registry is not None:
+            self.cpu.bind_metrics(registry, node=f"ro-{label}")
 
     def parse_redo_up_to(self, lsn: int) -> None:
         """Advance the local parsing progress (LSN_i)."""
@@ -59,6 +70,25 @@ class RONode:
         ctx.now_us = self.cpu.serve(ctx.now_us, EXECUTE_CPU_US / 2)
         self.pool.drain_touched()
         return OpResult(ctx.now_us, ctx.io_reads, 0, value)
+
+    def select_proc(self, table: str, key: int):
+        """Engine process: the select's CPU slices really queue FIFO on
+        the node's core pool, so core saturation under high concurrency
+        is emergent rather than analytic."""
+        engine = self._sim_engine
+        yield from self.cpu.process(EXECUTE_CPU_US)
+        ctx = OpContext(engine.now_us)
+        root = self.rw.tree(table).root_page_no
+        leaf = descend(self.pool, ctx, root, key)
+        value = leaf.get(key)
+        self.pool.drain_touched()
+        if ctx.now_us > engine.now_us:
+            # Storage reads from buffer-pool misses were charged
+            # analytically; live through them before the result slice.
+            yield engine.sleep_until(ctx.now_us)
+        # Result assembly + row handling back on the CPU.
+        yield from self.cpu.process(EXECUTE_CPU_US / 2)
+        return OpResult(engine.now_us, ctx.io_reads, 0, value)
 
     def invalidate_cache(self) -> None:
         """Drop every cached page (stale after heavy write traffic)."""

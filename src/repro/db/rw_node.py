@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.clock import ResourcePool
 from repro.common.errors import ReproError
+from repro.engine import ResourcePool
 from repro.db.btree import BPlusTree
 from repro.db.bufferpool import BufferPool, OpContext
 from repro.storage.redo import RedoRecord
@@ -53,6 +53,17 @@ class RWNode:
         #: instance); statement CPU queues here under high concurrency.
         self.cpu = ResourcePool("rw-cpu", cpu_cores)
         self.secondary_indexes: Dict[str, object] = {}
+        self._sim_engine = None
+
+    def bind_engine(self, engine) -> None:
+        """Attach the core pool to a shared event kernel: statement CPU
+        becomes a real FIFO queue and its wait times feed the volume
+        registry."""
+        self._sim_engine = engine
+        self.cpu.bind_engine(engine)
+        registry = getattr(self.store, "metrics", None)
+        if registry is not None:
+            self.cpu.bind_metrics(registry, node="rw")
 
     def _start_statement(self, start_us: float) -> OpContext:
         return OpContext(self.cpu.serve(start_us, EXECUTE_CPU_US))
@@ -157,6 +168,76 @@ class RWNode:
         self.pool.drain_touched()
         payload = b"".join(value for _, value in rows)
         return OpResult(ctx.now_us, ctx.io_reads, 0, payload)
+
+    # -- engine-native DML -------------------------------------------------------------
+
+    def _statement_proc(self, body, read_only: bool = False):
+        """One statement as an engine process.
+
+        Execute-CPU really queues on the core pool; the body (B+tree
+        work) and redo collection then run in the same atomic step —
+        the shared buffer pool's touched-page set must not observe
+        another client's mutations between the two.  Buffer-pool misses
+        inside the body charge storage reads analytically onto the
+        context; the process sleeps that time off before committing.
+        """
+        engine = self._sim_engine
+        yield from self.cpu.process(EXECUTE_CPU_US)
+        ctx = OpContext(engine.now_us)
+        value = body(ctx)
+        if read_only:
+            self.pool.drain_touched()  # reads generate no redo
+            records: List[RedoRecord] = []
+        else:
+            records = self._collect_redo()
+        if ctx.now_us > engine.now_us:
+            yield engine.sleep_until(ctx.now_us)
+        if not records:
+            return OpResult(engine.now_us, ctx.io_reads, 0, value)
+        yield from self.cpu.process(COMMIT_CPU_US)
+        commit = yield from self.store.write_redo_proc(records)
+        self.committed_statements += 1
+        return OpResult(
+            commit, ctx.io_reads, sum(r.size_bytes for r in records), value
+        )
+
+    def insert_proc(self, table: str, key: int, value: bytes):
+        result = yield from self._statement_proc(
+            lambda ctx: self.tree(table).insert(
+                ctx, key, value, self._next_lsn
+            )
+        )
+        return result
+
+    def update_proc(self, table: str, key: int, value: bytes):
+        def body(ctx):
+            if not self.tree(table).update(ctx, key, value, self._next_lsn):
+                raise ReproError(f"update of missing key {key}")
+
+        result = yield from self._statement_proc(body)
+        return result
+
+    def delete_proc(self, table: str, key: int):
+        def body(ctx):
+            if not self.tree(table).delete(ctx, key, self._next_lsn):
+                raise ReproError(f"delete of missing key {key}")
+
+        result = yield from self._statement_proc(body)
+        return result
+
+    def select_proc(self, table: str, key: int):
+        result = yield from self._statement_proc(
+            lambda ctx: self.tree(table).search(ctx, key), read_only=True
+        )
+        return result
+
+    def range_select_proc(self, table: str, low: int, high: int):
+        def body(ctx):
+            rows = self.tree(table).range_scan(ctx, low, high)
+            return b"".join(value for _, value in rows)
+
+        result = yield from self._statement_proc(body, read_only=True)
+        return result
 
     # -- transactions -----------------------------------------------------------------
 

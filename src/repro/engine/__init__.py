@@ -1,0 +1,33 @@
+"""Deterministic discrete-event concurrency engine.
+
+``repro.engine`` is the kernel underneath the simulator's concurrent hot
+path: an event heap keyed on ``(time_us, seq)``, generator-based
+processes, and FIFO :class:`Resource`/:class:`Queue` primitives whose
+wait times and depths feed :mod:`repro.obs`.  Devices, the storage
+write path (group commit + pipelined replica fan-out), DB nodes, and
+the sysbench driver all run as processes on one shared engine, so
+thread scaling and saturation crossovers (Figs 12/13/15) emerge from
+real queueing rather than analytic arithmetic.
+"""
+
+from repro.engine.core import (
+    Engine,
+    EngineError,
+    Event,
+    Process,
+    SleepUntil,
+    Timeout,
+)
+from repro.engine.resources import Queue, Resource, ResourcePool
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "Event",
+    "Process",
+    "Queue",
+    "Resource",
+    "ResourcePool",
+    "SleepUntil",
+    "Timeout",
+]

@@ -1,0 +1,93 @@
+"""Background maintenance as engine processes.
+
+The storage layer's housekeeping — scrubbing, page consolidation, and
+deferred FTL garbage collection — used to run only when a caller chose a
+moment to invoke it synchronously.  On the event kernel it becomes what
+it is in the paper's system: daemons that periodically steal device time
+from the same queues the foreground traffic uses.  Every slice of
+background I/O goes through the shared per-device state, so a scrub pass
+genuinely delays concurrent reads (and vice versa: a busy device pushes
+the scrubber's completion out).
+
+The daemons are infinite loops; :meth:`repro.engine.Engine.run_until_complete`
+returns once the foreground processes finish, and the daemons can be
+:meth:`~repro.engine.Process.cancel`-ed (or simply dropped with the
+engine) afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine import Engine, Process
+
+
+def scrubber_proc(store, engine: Engine, period_us: float = 100_000.0):
+    """Periodic checksum scrub of every replica copy (detect-and-repair).
+
+    Each cycle runs one full scrub pass through the shared device
+    queues, then idles for ``period_us``.
+    """
+    cycles = store.metrics.counter("storage.background.scrub_cycles")
+    while True:
+        yield engine.timeout(period_us)
+        done = store.scrub(engine.now_us)
+        cycles.inc()
+        if done > engine.now_us:
+            yield engine.sleep_until(done)
+
+
+def consolidator_proc(store, engine: Engine, period_us: float = 20_000.0):
+    """Periodic page generation: apply cached/spilled redo to pages on
+    every live node (the continuous up-to-LSN\\ :sub:`min` work of §2.1),
+    so foreground reads find materialized pages instead of paying the
+    consolidation on their own critical path."""
+    cycles = store.metrics.counter("storage.background.consolidate_cycles")
+    while True:
+        yield engine.timeout(period_us)
+        for i, node in enumerate(store.nodes):
+            if not store._alive[i]:
+                continue
+            done = node.consolidate_pending(engine.now_us)
+            if done > engine.now_us:
+                yield engine.sleep_until(done)
+        cycles.inc()
+
+
+def start_background(
+    store,
+    engine: Engine,
+    scrub_period_us: Optional[float] = 100_000.0,
+    consolidate_period_us: Optional[float] = 20_000.0,
+    gc_period_us: Optional[float] = None,
+) -> List[Process]:
+    """Spawn the volume's maintenance daemons; returns the processes.
+
+    Pass ``None`` for a period to skip that daemon.  ``gc_period_us``
+    additionally starts each data device's deferred-GC drain (only
+    meaningful when the store was bound with ``defer_gc=True``).
+    """
+    procs: List[Process] = []
+    if scrub_period_us is not None:
+        procs.append(
+            engine.spawn(
+                scrubber_proc(store, engine, scrub_period_us),
+                name="bg-scrubber",
+            )
+        )
+    if consolidate_period_us is not None:
+        procs.append(
+            engine.spawn(
+                consolidator_proc(store, engine, consolidate_period_us),
+                name="bg-consolidator",
+            )
+        )
+    if gc_period_us is not None:
+        for i, node in enumerate(store.nodes):
+            procs.append(
+                engine.spawn(
+                    node.data_device.gc_proc(gc_period_us),
+                    name=f"bg-gc-{i}",
+                )
+            )
+    return procs

@@ -8,7 +8,11 @@ page consolidation machinery.
 Timing model: every public operation takes the simulated start time and
 returns a result carrying ``done_us``.  CPU costs (codec work, record
 application) come from the calibrated cost models; device time comes from
-the device simulators' queues.
+the device simulators' queues.  Once :meth:`StorageNode.bind_engine`
+attaches the node to a shared :class:`repro.engine.Engine`, the redo
+persistence path is additionally available as an engine process
+(:meth:`StorageNode.persist_redo_proc`) that really queues on the device
+FIFO — the building block of the volume-level group-commit pipeline.
 """
 
 from __future__ import annotations
@@ -196,6 +200,21 @@ class StorageNode:
             "storage.logical_used_bytes_node",
             lambda: self.logical_used_bytes, **labels
         )
+        #: Shared discrete-event kernel once bind_engine() is called.
+        self._sim_engine = None
+
+    def bind_engine(self, engine, qd: Optional[int] = None,
+                    defer_gc: bool = False) -> None:
+        """Attach this node's device queues to a shared event kernel.
+
+        ``qd`` reconfigures the data device's queue depth; the
+        performance device keeps its own parallelism (it models a small
+        dedicated Optane stripe).  ``defer_gc`` moves FTL relocation cost
+        to a background GC process (see :meth:`BlockDevice.gc_proc`).
+        """
+        self._sim_engine = engine
+        self.data_device.bind_engine(engine, qd=qd, defer_gc=defer_gc)
+        self.perf_device.bind_engine(engine)
 
     # ------------------------------------------------------------------ #
     # Page write path                                                     #
@@ -506,8 +525,10 @@ class StorageNode:
     # Redo path                                                           #
     # ------------------------------------------------------------------ #
 
-    def persist_redo(self, start_us: float, blob: bytes) -> float:
-        """Durably store a redo batch; returns completion time.
+    def _prepare_redo(self, start_us: float, blob: bytes, trace: bool = True):
+        """Shared redo-placement logic: pick the device, compress the log
+        window (non-bypass mode), and allocate the target LBA.  Returns
+        ``(device, lba, padded_payload, cpu_us)``.
 
         With Opt#1 the blob goes raw to the performance device.  Without
         it, the software layer compresses the redo writer's current 16 KB
@@ -536,7 +557,7 @@ class StorageNode:
             else:
                 payload = blob
                 cpu = 0.0
-        if cpu > 0.0:
+        if cpu > 0.0 and trace:
             sp = tracer.begin(
                 "compression.redo_compress", start_us, layer="compression"
             )
@@ -549,13 +570,51 @@ class StorageNode:
             lba = self.space.allocate_blocks(nbytes)
             self.wal.append_alloc(lba, nbytes // LBA_SIZE)
             self._track_redo_block(lba, nbytes)
+        return device, lba, padded, cpu
+
+    def _finish_redo(self, start_us: float, done_us: float, blob: bytes) -> None:
+        self.durable_redo_blobs.append(blob)
+        self.redo_write_stats.append(done_us - start_us)
+
+    def persist_redo(self, start_us: float, blob: bytes) -> float:
+        """Durably store a redo batch; returns completion time."""
+        tracer = self.metrics.tracer
+        device, lba, padded, cpu = self._prepare_redo(start_us, blob)
         dev_sp = tracer.begin(
             "csd.redo_device_write", start_us + cpu, layer="csd"
         )
         completion = device.write(start_us + cpu, lba, padded)
         tracer.end(dev_sp, completion.done_us)
-        self.durable_redo_blobs.append(blob)
-        self.redo_write_stats.append(completion.done_us - start_us)
+        self._finish_redo(start_us, completion.done_us, blob)
+        return completion.done_us
+
+    def persist_redo_proc(self, blob: bytes, trace: bool = True):
+        """Engine process: persist a redo batch, really queueing FIFO on
+        the target device behind concurrent requests.  Requires
+        :meth:`bind_engine`.  Returns the completion time.
+
+        ``trace=False`` mirrors the synchronous path's span suppression
+        for replica persists.  Spans are emitted retrospectively (after
+        the write completes, with simulated timestamps) because the
+        tracer's ambient span stack must never be held open across an
+        engine yield — concurrent processes would interleave into it.
+        """
+        engine = self._sim_engine
+        start_us = engine.now_us
+        device, lba, padded, cpu = self._prepare_redo(
+            start_us, blob, trace=trace
+        )
+        if cpu > 0.0:
+            yield engine.timeout(cpu)
+        write_start = engine.now_us
+        completion = yield from device.write_proc(lba, padded)
+        if trace:
+            tracer = self.metrics.tracer
+            dev_sp = tracer.begin(
+                "csd.redo_device_write", write_start, layer="csd"
+            )
+            tracer.end(dev_sp, completion.done_us)
+        self._finish_redo(start_us, completion.done_us, blob)
         return completion.done_us
 
     def _track_redo_block(self, lba: int, nbytes: int) -> None:

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.common.clock import SimClock
 from repro.common.errors import (
     DeviceUnavailableError,
     PageCorruptionError,
@@ -153,6 +154,15 @@ class PolarStore:
         #: Chaos fault plan (when armed) — its ledger attributes detected
         #: corruption back to the injected fault kind.
         self.chaos_plan = None
+        #: Volume-time high-water mark: every commit/read completion
+        #: advances it, so control-plane operations (recovery, resync)
+        #: can never be timestamped before work that already happened.
+        self.clock = SimClock()
+        #: Shared event kernel + group-commit pipeline (engine mode).
+        self._engine = None
+        self._pipeline = None
+        self._qd: Optional[int] = None
+        self._defer_gc = False
         #: Leader reads slower than this are hedged to a follower.
         self.hedge_after_us = 4000.0
         # Commit-latency distributions, bounded (the seed kept raw
@@ -178,6 +188,35 @@ class PolarStore:
             lambda: self.leader.physical_used_bytes,
         )
 
+    def bind_engine(
+        self,
+        engine,
+        group_commit_window_us: float = 0.0,
+        qd: Optional[int] = None,
+        defer_gc: bool = False,
+    ) -> None:
+        """Attach the volume to a shared discrete-event kernel.
+
+        Every node's device queues become engine-native (concurrent
+        requests really wait FIFO), and redo commits gain a volume-level
+        group-commit pipeline with pipelined replica fan-out
+        (:meth:`write_redo_proc`).  ``group_commit_window_us`` optionally
+        holds each flush open to batch more commits; with the default 0
+        batching still emerges whenever commits arrive while a flush is
+        in flight.
+        """
+        from repro.storage.commit_pipeline import GroupCommitPipeline
+
+        self._engine = engine
+        self._qd = qd
+        self._defer_gc = defer_gc
+        for node in self.nodes:
+            node.bind_engine(engine, qd=qd, defer_gc=defer_gc)
+        self._pipeline = GroupCommitPipeline(
+            self, engine, window_us=group_commit_window_us
+        )
+        self.clock.advance_to(engine.now_us)
+
     @property
     def leader(self) -> StorageNode:
         return self.nodes[0]
@@ -198,7 +237,7 @@ class PolarStore:
             raise ReproError(f"node {index} is already failed")
         self._alive[index] = False
 
-    def recover_node(self, index: int, now_us: float = 0.0) -> float:
+    def recover_node(self, index: int, now_us: Optional[float] = None) -> float:
         """Rejoin a failed replica through real crash recovery.
 
         The node's in-memory state (allocator, index, caches, redo cache)
@@ -207,16 +246,30 @@ class PolarStore:
         hide exactly the class of bugs recovery exists to catch.  Pages
         written while the replica was down are then resynced from the
         leader.  Returns the simulated completion time.
+
+        Time flows from the volume clock: recovery happens *now*, never
+        at a fresh ``0.0``.  An explicit ``now_us`` can only move time
+        forward — a stale (or defaulted) timestamp cannot schedule
+        recovery I/O before commits that already completed.
         """
         if self._alive[index]:
             raise ReproError(f"node {index} is not failed")
+        now = self.clock.now_us
+        if now_us is not None:
+            now = max(now, now_us)
         from repro.storage.recovery import recover_node as _wal_recover
 
         rebuilt = _wal_recover(self.nodes[index], metrics=self.metrics)
+        if self._engine is not None:
+            rebuilt.bind_engine(
+                self._engine, qd=self._qd, defer_gc=self._defer_gc
+            )
         self.nodes[index] = rebuilt
         self._alive[index] = True
         self.metrics.counter("chaos.wal_replays", node=rebuilt.name).add(1)
-        return self._resync_node(index, now_us)
+        done = self._resync_node(index, now)
+        self.clock.advance_to(done)
+        return done
 
     def _resync_node(self, index: int, now_us: float) -> float:
         """Copy every missed page from a healthy replica onto ``index``.
@@ -304,6 +357,7 @@ class PolarStore:
         tracer.end(root, commit)
         self.page_write_commit_stats.append(commit - start_us)
         self._commit_rate.record(commit)
+        self.clock.advance_to(commit)
         return CommittedWrite(commit, prepared)
 
     @staticmethod
@@ -410,6 +464,7 @@ class PolarStore:
         sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
         tracer.end(sp, commit)
         tracer.end(root, commit)
+        self.clock.advance_to(commit)
         return commit
 
     def write_redo(
@@ -439,10 +494,20 @@ class PolarStore:
         sp = tracer.begin("net.quorum_wait", leader_done, layer="net")
         tracer.end(sp, commit)
         tracer.end(root, commit)
-        # Records enter every replica's redo cache for later consolidation.
-        # Cache spills here may consolidate pages (background work whose
-        # spans would overlap the committed request).
-        with tracer.suppressed():
+        self._after_redo_commit(commit, records)
+        self.redo_commit_stats.append(commit - start_us)
+        self._commit_rate.record(commit)
+        return commit
+
+    def _after_redo_commit(
+        self, commit: float, records: Sequence[RedoRecord]
+    ) -> None:
+        """Post-commit bookkeeping shared by the synchronous path and the
+        group-commit pipeline: records enter every replica's redo cache
+        for later consolidation.  Cache spills here may consolidate pages
+        (background work whose spans would overlap the committed
+        request)."""
+        with self.metrics.tracer.suppressed():
             for i, node in enumerate(self.nodes):
                 if not self._alive[i]:
                     self._missed[i].update(r.page_no for r in records)
@@ -466,8 +531,21 @@ class PolarStore:
                         self._read_with_repair(
                             commit, err.page_no, i, err
                         )
-        self.redo_commit_stats.append(commit - start_us)
-        self._commit_rate.record(commit)
+        self.clock.advance_to(commit)
+
+    def write_redo_proc(self, records: Sequence[RedoRecord]):
+        """Engine process: redo commit through the group-commit pipeline.
+
+        Commits arriving while a flush is in flight coalesce into the
+        next performance-layer write; the replica fan-out inside each
+        flush is pipelined (the leader's device write overlaps follower
+        RTTs).  Requires :meth:`bind_engine`.  Returns the commit time.
+        """
+        if self._pipeline is None:
+            raise ReproError(
+                "write_redo_proc requires bind_engine() on this volume"
+            )
+        commit = yield from self._pipeline.commit_proc(records)
         return commit
 
     def archive_range(self, start_us: float, page_nos: List[int]) -> float:
@@ -547,6 +625,7 @@ class PolarStore:
             and result.done_us - start_us > self.hedge_after_us
         ):
             result = self._hedged_read(start_us, page_no, result)
+        self.clock.advance_to(result.done_us)
         return result
 
     def _hedged_read(

@@ -7,19 +7,26 @@ write mix alone; Update-Index rewrites an indexed column (modelled as
 delete+insert, which touches tree structure); Update-Non-Index overwrites
 a payload column in place.
 
-``threads`` client threads are simulated with an event heap: each thread
-issues its next transaction when its previous one completes, so device
-queueing and CPU costs shape throughput exactly as concurrency grows.
+``threads`` client threads run as genuine concurrent processes on one
+shared :class:`repro.engine.Engine` (this module used to keep a private
+event heap).  Against a :class:`~repro.db.database.PolarDB` the clients
+drive the engine-native proc API end to end — statement CPU queues on
+the compute core pools, redo commits coalesce in the storage layer's
+group-commit pipeline, device queues really back up — so thread scaling,
+saturation, and the Fig 15 CPU-bound crossover *emerge* from queueing.
+Baseline engines without ``bind_engine`` still run on the shared kernel
+through a synchronous adapter (each op executes analytically and the
+client sleeps through its completion time), preserving their timings.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.common.latency import LatencyStats
+from repro.engine import Engine
 from repro.workloads.zipf import ZipfSampler
 
 #: sysbench's c-column: digits + fixed padding, moderately compressible.
@@ -37,93 +44,114 @@ def default_value(rng: random.Random, key: int) -> bytes:
 
 @dataclass
 class _TxnContext:
+    """Client-side operation vocabulary; every op is an engine process.
+
+    With ``use_procs`` the db's engine-native ``*_proc`` generators are
+    driven (real queueing); without it each legacy call runs at the
+    engine's current time and the client sleeps through its analytic
+    completion — identical timing to the old private-heap driver.
+    """
+
     db: object
     table: str
     rng: random.Random
     sampler: ZipfSampler
     fresh_key: Callable[[], int]
+    engine: Engine
     ro_index: int = -1  # -1: reads go to the RW node
+    use_procs: bool = False
 
     def pick_key(self) -> int:
         return int(self.sampler.one())
 
-    def select(self, now: float, key: int) -> float:
-        return self.db.select(now, self.table, key, ro_index=self.ro_index).done_us
+    def _op(self, name: str, *args, **kwargs):
+        if self.use_procs:
+            result = yield from getattr(self.db, name + "_proc")(
+                *args, **kwargs
+            )
+            return result
+        result = getattr(self.db, name)(self.engine.now_us, *args, **kwargs)
+        done = getattr(result, "done_us", result)
+        if done > self.engine.now_us:
+            yield self.engine.sleep_until(done)
+        return result
 
-    def range_scan(self, now: float, key: int, span: int = 20) -> float:
-        return self.db.range_select(now, self.table, key, key + span).done_us
+    def select(self, key: int):
+        yield from self._op("select", self.table, key, ro_index=self.ro_index)
 
-    def update_non_index(self, now: float, key: int) -> float:
+    def range_scan(self, key: int, span: int = 20):
+        yield from self._op("range_select", self.table, key, key + span)
+
+    def update_non_index(self, key: int):
         value = default_value(self.rng, key)
         try:
-            return self.db.update(now, self.table, key, value).done_us
+            yield from self._op("update", self.table, key, value)
         except Exception:
-            return self.db.insert(now, self.table, key, value).done_us
+            yield from self._op("insert", self.table, key, value)
 
-    def update_index(self, now: float, key: int) -> float:
+    def update_index(self, key: int):
         """Index-column update: reposition the row (delete + insert)."""
         try:
-            now = self.db.delete(now, self.table, key).done_us
+            yield from self._op("delete", self.table, key)
         except Exception:
             pass
         try:
-            return self.db.insert(
-                now, self.table, key, default_value(self.rng, key)
-            ).done_us
+            yield from self._op(
+                "insert", self.table, key, default_value(self.rng, key)
+            )
         except Exception:
-            return self.update_non_index(now, key)
+            yield from self.update_non_index(key)
 
-    def insert_fresh(self, now: float) -> float:
+    def insert_fresh(self):
         key = self.fresh_key()
-        return self.db.insert(
-            now, self.table, key, default_value(self.rng, key)
-        ).done_us
+        yield from self._op(
+            "insert", self.table, key, default_value(self.rng, key)
+        )
 
-    def delete_insert(self, now: float, key: int) -> float:
-        return self.update_index(now, key)
-
-
-def _txn_insert(ctx: _TxnContext, now: float) -> float:
-    return ctx.insert_fresh(now)
+    def delete_insert(self, key: int):
+        yield from self.update_index(key)
 
 
-def _txn_point_select(ctx: _TxnContext, now: float) -> float:
-    return ctx.select(now, ctx.pick_key())
+def _txn_insert(ctx: _TxnContext):
+    yield from ctx.insert_fresh()
 
 
-def _txn_read_only(ctx: _TxnContext, now: float) -> float:
+def _txn_point_select(ctx: _TxnContext):
+    yield from ctx.select(ctx.pick_key())
+
+
+def _txn_read_only(ctx: _TxnContext):
     for _ in range(10):
-        now = ctx.select(now, ctx.pick_key())
+        yield from ctx.select(ctx.pick_key())
     for _ in range(4):
-        now = ctx.range_scan(now, ctx.pick_key())
-    return now
+        yield from ctx.range_scan(ctx.pick_key())
 
 
-def _txn_write_mix(ctx: _TxnContext, now: float) -> float:
-    now = ctx.update_index(now, ctx.pick_key())
-    now = ctx.update_non_index(now, ctx.pick_key())
-    now = ctx.delete_insert(now, ctx.pick_key())
-    return now
+def _txn_write_mix(ctx: _TxnContext):
+    yield from ctx.update_index(ctx.pick_key())
+    yield from ctx.update_non_index(ctx.pick_key())
+    yield from ctx.delete_insert(ctx.pick_key())
 
 
-def _txn_read_write(ctx: _TxnContext, now: float) -> float:
-    now = _txn_read_only(ctx, now)
-    return _txn_write_mix(ctx, now)
+def _txn_read_write(ctx: _TxnContext):
+    yield from _txn_read_only(ctx)
+    yield from _txn_write_mix(ctx)
 
 
-def _txn_write_only(ctx: _TxnContext, now: float) -> float:
-    return _txn_write_mix(ctx, now)
+def _txn_write_only(ctx: _TxnContext):
+    yield from _txn_write_mix(ctx)
 
 
-def _txn_update_index(ctx: _TxnContext, now: float) -> float:
-    return ctx.update_index(now, ctx.pick_key())
+def _txn_update_index(ctx: _TxnContext):
+    yield from ctx.update_index(ctx.pick_key())
 
 
-def _txn_update_non_index(ctx: _TxnContext, now: float) -> float:
-    return ctx.update_non_index(now, ctx.pick_key())
+def _txn_update_non_index(ctx: _TxnContext):
+    yield from ctx.update_non_index(ctx.pick_key())
 
 
-SYSBENCH_WORKLOADS: Dict[str, Callable[[_TxnContext, float], float]] = {
+#: Transaction shapes, as generator factories over a :class:`_TxnContext`.
+SYSBENCH_WORKLOADS: Dict[str, Callable] = {
     "insert": _txn_insert,
     "point_select": _txn_point_select,
     "read_only": _txn_read_only,
@@ -195,8 +223,17 @@ def run_sysbench(
     zipf_s: float = 0.6,
     ro_index: int = -1,
     max_transactions: Optional[int] = None,
+    engine: Optional[Engine] = None,
+    group_commit_window_us: float = 0.0,
 ) -> SysbenchResult:
-    """Run one workload for ``duration_s`` of *simulated* time."""
+    """Run one workload for ``duration_s`` of *simulated* time.
+
+    ``engine`` lets callers share one kernel across phases (background
+    processes keep running between runs); by default a fresh engine
+    starts at ``start_us``.  ``group_commit_window_us`` is forwarded to
+    the storage group-commit pipeline (0 = flush immediately; batching
+    still emerges under load).
+    """
     if workload not in SYSBENCH_WORKLOADS:
         raise KeyError(
             f"unknown workload {workload!r}; options: {sorted(SYSBENCH_WORKLOADS)}"
@@ -204,29 +241,49 @@ def run_sysbench(
     txn = SYSBENCH_WORKLOADS[workload]
     rng = random.Random(seed)
     fresh = iter(range(key_range + 1_000_000, 10**9))
+    eng = engine if engine is not None else Engine(start_us=start_us)
+    eng.advance_to(start_us)
+    use_procs = hasattr(db, "bind_engine")
+    if use_procs:
+        db.bind_engine(eng, group_commit_window_us=group_commit_window_us)
     ctx = _TxnContext(
         db=db,
         table=table,
         rng=rng,
         sampler=ZipfSampler(key_range, s=zipf_s, seed=seed),
         fresh_key=lambda: next(fresh),
+        engine=eng,
         ro_index=ro_index,
+        use_procs=use_procs,
     )
     horizon = start_us + duration_s * 1e6
     result = SysbenchResult(workload, threads, 0, duration_s)
-    heap = [(start_us, tid) for tid in range(threads)]
-    heapq.heapify(heap)
-    last_done = start_us
-    while heap:
-        now, tid = heapq.heappop(heap)
-        if now >= horizon:
-            continue
-        if max_transactions is not None and result.transactions >= max_transactions:
-            break
-        done = txn(ctx, now)
-        result.latency.record(done - now)
-        result.transactions += 1
-        last_done = max(last_done, done)
-        heapq.heappush(heap, (done, tid))
-    result.elapsed_s = max(last_done - start_us, 0.0) / 1e6
+    state = {"started": 0, "last_done": start_us}
+
+    def client(tid: int):
+        # Each client issues its next transaction as soon as its previous
+        # one completes; the cap is checked *before* starting a
+        # transaction, so exactly ``max_transactions`` execute.
+        while True:
+            now = eng.now_us
+            if now >= horizon:
+                return
+            if (
+                max_transactions is not None
+                and state["started"] >= max_transactions
+            ):
+                return
+            state["started"] += 1
+            yield from txn(ctx)
+            done = eng.now_us
+            result.latency.record(done - now)
+            result.transactions += 1
+            state["last_done"] = max(state["last_done"], done)
+
+    procs = [
+        eng.spawn(client(tid), name=f"sysbench-{tid}", at_us=start_us)
+        for tid in range(threads)
+    ]
+    eng.run_until_complete(procs)
+    result.elapsed_s = max(state["last_done"] - start_us, 0.0) / 1e6
     return result

@@ -1,0 +1,125 @@
+"""Background maintenance daemons on the event kernel."""
+
+import random
+
+from repro.common.units import DB_PAGE_SIZE, MiB
+from repro.engine import Engine
+from repro.storage.background import (
+    consolidator_proc,
+    scrubber_proc,
+    start_background,
+)
+from repro.storage.node import NodeConfig
+from repro.storage.redo import RedoRecord
+from repro.storage.store import PolarStore
+
+
+def make_page(seed=0):
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < DB_PAGE_SIZE:
+        out += b"row|%08d|" % rng.randrange(10**8)
+    return bytes(out[:DB_PAGE_SIZE])
+
+
+def make_store(seed=9):
+    return PolarStore(NodeConfig(), volume_bytes=64 * MiB, seed=seed)
+
+
+def test_scrubber_daemon_steals_device_time():
+    store = make_store()
+    now = 0.0
+    for i in range(6):
+        now = store.write_page(now, i, make_page(i)).commit_us
+    engine = Engine(start_us=now)
+    store.bind_engine(engine)
+    procs = start_background(
+        store, engine, scrub_period_us=2_000.0, consolidate_period_us=None
+    )
+
+    def client():
+        for i in range(6):
+            yield engine.timeout(3_000.0)
+            store.read_page(engine.now_us, i % 6)
+
+    engine.run_until_complete([engine.spawn(client())])
+    cycles = store.metrics.get("storage.background.scrub_cycles").value
+    assert cycles >= 2
+    assert store.metrics.get("chaos.scrub_pages").value > 0
+    for proc in procs:
+        proc.cancel()
+
+
+def test_consolidator_drains_cached_redo():
+    store = make_store()
+    page = make_page(1)
+    now = store.write_page(0.0, 3, page).commit_us
+    # Leave un-materialized redo in the cache.
+    now = store.write_redo(
+        now, [RedoRecord(1, 3, 0, b"Y" * 64), RedoRecord(2, 3, 64, b"Z" * 64)]
+    )
+    assert store.leader.redo_cache.get(3)
+    engine = Engine(start_us=now)
+    store.bind_engine(engine)
+    engine.spawn(consolidator_proc(store, engine, period_us=1_000.0))
+    engine.run_until_idle(limit_us=now + 5_000.0)
+    assert not store.leader.redo_cache.get(3)
+    assert (
+        store.metrics.get("storage.background.consolidate_cycles").value >= 1
+    )
+    # The materialized page reflects the consolidated redo.
+    data = store.read_page(engine.now_us, 3).data
+    assert data[:64] == b"Y" * 64
+
+
+def test_deferred_gc_daemon_drains_banked_work():
+    store = make_store()
+    engine = Engine()
+    store.bind_engine(engine, defer_gc=True)
+    start_background(
+        store,
+        engine,
+        scrub_period_us=None,
+        consolidate_period_us=None,
+        gc_period_us=500.0,
+    )
+
+    def writer():
+        for i in range(40):
+            yield from store.leader.data_device.write_proc(
+                i * 8, make_page(i)[: 4 * 1024]
+            )
+
+    engine.run_until_complete([engine.spawn(writer())])
+    banked = store.leader.data_device._pending_gc_us
+    engine.run_until_idle(limit_us=engine.now_us + 200_000.0)
+    assert store.leader.data_device._pending_gc_us <= banked
+
+
+def test_scrubber_repairs_corruption_in_background():
+    from repro.chaos.plan import FaultKind, FaultPlan, FaultRule
+
+    store = make_store()
+    plan = FaultPlan(seed=3)
+    plan.add(
+        FaultRule(
+            FaultKind.BIT_FLIP,
+            scope=f"{store.leader.name}:data",
+            max_count=1,
+        )
+    )
+    plan.attach_to_store(store)
+    # Incompressible payload: the flip must land in real bytes.
+    page = random.Random(11).randbytes(DB_PAGE_SIZE)
+    now = store.write_page(0.0, 1, page).commit_us
+    assert plan.total_injected == 1
+    engine = Engine(start_us=now)
+    store.bind_engine(engine)
+    engine.spawn(scrubber_proc(store, engine, period_us=1_000.0))
+    engine.run_until_idle(limit_us=now + 20_000.0)
+    repaired = [
+        inst
+        for inst in store.metrics.instruments()
+        if inst.name == "chaos.repaired" and inst.value > 0
+    ]
+    assert repaired

@@ -35,7 +35,11 @@ def test_metrics_emits_json_snapshot(capsys):
     names = {i["name"] for i in doc["instruments"]}
     layers = {n.split(".", 1)[0] for n in names}
     assert len(names) >= 10
-    assert {"storage", "csd", "compression", "db"} <= layers
+    assert {"storage", "csd", "compression", "db", "engine"} <= layers
+    # The engine's queue accounting is part of the snapshot: wait-time
+    # histograms and utilization gauges per resource.
+    assert "engine.resource.queue_wait_us" in names
+    assert "engine.resource.utilization" in names
     # The traced write's breakdown lands on stderr with a sub-µs delta.
     assert "per-layer" in captured.err
     assert "delta 0.000us" in captured.err
@@ -85,3 +89,25 @@ def test_chaos_metrics_flag_appends_json_snapshot(capsys):
 
 def test_chaos_rejects_tiny_op_counts(capsys):
     assert main(["chaos", "--ops", "10"]) == 2
+
+
+def test_bench_fig15_quick_writes_artifacts(tmp_path, capsys):
+    assert main(
+        ["bench", "--fig", "15", "--quick", "--out", str(tmp_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fig15_quick" in out
+    import json
+
+    doc = json.loads((tmp_path / "fig15_quick.json").read_text())
+    assert doc["columns"][0] == "threads"
+    assert len(doc["rows"]) == 2
+    # The per-page log helps at low thread counts (paper's Fig 15 claim).
+    low = doc["rows"][0]
+    assert low[3] > 0.10
+    assert (tmp_path / "fig15_quick.txt").exists()
+
+
+def test_bench_requires_fig(capsys):
+    with pytest.raises(SystemExit):
+        main(["bench"])
