@@ -30,7 +30,13 @@ __version__ = "1.0.0"
 # Convenience re-exports of the primary entry points.  Subpackages are
 # imported lazily via __getattr__ so that `import repro` stays light.
 _PUBLIC = {
+    # `repro.PolarStore` stays the storage-layer volume for backward
+    # compatibility; the unified client facade is
+    # `repro.api.PolarStore.open` (-> PolarStoreClient).
     "PolarStore": ("repro.storage.store", "PolarStore"),
+    "PolarStoreClient": ("repro.api.client", "PolarStoreClient"),
+    "ReproConfig": ("repro.api.config", "ReproConfig"),
+    "ClusterRuntime": ("repro.cluster.runtime", "ClusterRuntime"),
     "NodeConfig": ("repro.storage.node", "NodeConfig"),
     "StorageNode": ("repro.storage.node", "StorageNode"),
     "CompressionMode": ("repro.storage.store", "CompressionMode"),

@@ -22,6 +22,11 @@ Commands
     Run a trimmed, deterministic profile of a thread-scaling figure
     (Fig 12 cluster sweep or Fig 15 per-page log) on the event-driven
     stack and persist its table + JSON artifact.
+``cluster``
+    Run the seeded sharded-runtime scenario: ingest a skewed tenant
+    layout across real replica groups, show zone A/B/C/D occupancy,
+    live-migrate chunks under both schedulers, and persist the wasted-
+    space / migration-traffic table + JSON artifact (Figures 10/11).
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ EXPERIMENTS = [
      ">=4ms tail: PolarCSD1.0 vs 2.0"),
     ("fig9-11", "benchmarks/bench_fig9_11_scheduling.py",
      "cluster ratio dispersion + zone scheduling"),
+    ("fig10-11", "benchmarks/bench_fig10_11_scheduling.py",
+     "live-migration scheduling on the sharded runtime"),
     ("fig12", "benchmarks/bench_fig12_overall.py",
      "sysbench overall performance (N1/C1/N2/C2)"),
     ("fig13", "benchmarks/bench_fig13_ablation.py",
@@ -104,27 +111,26 @@ def cmd_experiments(_args) -> int:
 
 
 def cmd_demo(_args) -> int:
+    from repro.api import PolarStore
     from repro.common.units import MiB
-    from repro.storage.node import NodeConfig
-    from repro.storage.store import PolarStore
     from repro.workloads.datagen import dataset_pages
 
     print("building a 3-replica PolarStore volume (PolarCSD2.0) ...")
-    store = PolarStore(NodeConfig(), volume_bytes=64 * MiB, seed=0)
+    client = PolarStore.open(store={"volume_bytes": 64 * MiB})
     pages = dataset_pages("finance", 16, seed=0)
-    now = 0.0
     for page_no, page in enumerate(pages):
-        now = store.write_page(now, page_no, page).commit_us
-    result = store.read_page(now, 3)
+        client.write_page(page_no, page)
+    now = client.now_us
+    result = client.read_page(3)
     assert result.data == pages[3]
-    leader = store.leader
+    leader = client.store.leader
     print(f"wrote {len(pages)} pages; read one back in "
           f"{result.done_us - now:.0f}us (simulated)")
     print(f"logical  : {leader.logical_used_bytes // 1024} KiB")
     print(f"software : {leader.device_used_bytes // 1024} KiB "
           f"(4 KiB-aligned blocks)")
     print(f"physical : {leader.physical_used_bytes // 1024} KiB of NAND")
-    print(f"dual-layer ratio: {store.compression_ratio():.2f}x")
+    print(f"dual-layer ratio: {client.compression_ratio():.2f}x")
     return 0
 
 
@@ -134,11 +140,11 @@ def cmd_metrics(args) -> int:
     if args.rows < 1:
         print("metrics: --rows must be at least 1", file=sys.stderr)
         return 2
-    from repro.db.database import PolarDB
+    from repro.api import PolarStore
     from repro.obs.export import to_json, to_prometheus
     from repro.workloads.sysbench import prepare_table, run_sysbench
 
-    db = PolarDB(volume_bytes=64 * MiB, seed=0)
+    db = PolarStore.open(store={"volume_bytes": 64 * MiB})
     loaded_us = prepare_table(db, rows=args.rows, seed=0)
     result = run_sysbench(
         db,
@@ -205,6 +211,30 @@ def cmd_bench(args) -> int:
 
     runner = FIGURES[args.fig]
     runner(out_dir=args.out, quick=args.quick)
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.bench.cluster_fig import run_fig10_11
+
+    if args.shards < 2:
+        print("cluster: --shards must be at least 2", file=sys.stderr)
+        return 2
+    if args.chunks < args.shards:
+        print("cluster: --chunks must be at least --shards", file=sys.stderr)
+        return 2
+    result = run_fig10_11(
+        out_dir=args.out,
+        shards=args.shards,
+        chunks=args.chunks,
+        seed=args.seed,
+    )
+    aware = dict(zip(result.columns, result.rows[-1]))
+    print(f"compression-aware: {aware['tasks']} tasks moved "
+          f"{aware['moved_pages']} pages "
+          f"({aware['moved_logical_mib']} MiB logical -> "
+          f"{aware['moved_physical_mib']} MiB physical) "
+          f"in {aware['makespan_ms']} ms simulated")
     return 0
 
 
@@ -276,6 +306,28 @@ def main(argv=None) -> int:
         help="directory for the table + JSON artifacts "
              "(default: benchmarks/results)",
     )
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="run the sharded-runtime live-migration scenario (Fig 10/11)",
+    )
+    cluster_p.add_argument(
+        "--shards", type=int, default=4,
+        help="replica groups in the fleet (default: 4)",
+    )
+    cluster_p.add_argument(
+        "--chunks", type=int, default=8,
+        help="chunks to ingest before rebalancing (default: 8; the "
+             "benchmark profile uses 16)",
+    )
+    cluster_p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for row data (default: 0)",
+    )
+    cluster_p.add_argument(
+        "--out", default=None,
+        help="directory for the table + JSON artifacts "
+             "(default: benchmarks/results)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -284,6 +336,7 @@ def main(argv=None) -> int:
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
         "bench": cmd_bench,
+        "cluster": cmd_cluster,
     }
     if args.command is None:
         parser.print_help()

@@ -1,0 +1,34 @@
+"""repro.api — the unified client facade over the reproduction stack.
+
+``PolarStore.open(config)`` is the single front door; everything else
+here is the typed configuration tree it consumes and the config-driven
+constructors it delegates to.  Legacy constructor-plumbing entry points
+live on in :mod:`repro.api.legacy` as deprecation shims.
+"""
+
+from repro.api.client import PolarStore, PolarStoreClient
+from repro.api.config import (
+    ClusterSection,
+    DbSection,
+    DeviceSection,
+    EngineSection,
+    ReproConfig,
+    StoreSection,
+    resolve_spec,
+)
+from repro.api.factory import build_cluster, build_db, build_store
+
+__all__ = [
+    "PolarStore",
+    "PolarStoreClient",
+    "ReproConfig",
+    "StoreSection",
+    "DeviceSection",
+    "EngineSection",
+    "DbSection",
+    "ClusterSection",
+    "resolve_spec",
+    "build_store",
+    "build_db",
+    "build_cluster",
+]

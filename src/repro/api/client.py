@@ -1,0 +1,307 @@
+"""The unified PolarStore client facade.
+
+:meth:`PolarStore.open` is the single front door to the reproduction:
+it takes one :class:`~repro.api.config.ReproConfig` (or the equivalent
+nested dict) and returns a typed :class:`PolarStoreClient` whose
+``insert``/``select``/... methods hide three historical seams:
+
+* **time threading** — the legacy entry points take ``now_us`` and
+  return completion times the caller must loop back in; the client keeps
+  the simulated-time cursor itself (read it via :attr:`PolarStoreClient
+  .now_us`);
+* **sync vs ``_proc`` dispatch** — with ``engine.enabled`` the client
+  routes every operation through the engine-native generator path
+  (statement CPU queues on core pools, redo coalesces in group commit);
+  without it the analytic synchronous path runs.  Same method, same
+  result type, identical single-client timings (tested to equality);
+* **single volume vs sharded cluster** — with ``cluster.shards >= 2``
+  the same methods route by key range across a
+  :class:`~repro.cluster.runtime.ClusterRuntime` of real replica groups,
+  and :meth:`PolarStoreClient.rebalance` drives live migration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.config import ReproConfig
+from repro.api.factory import build_cluster, build_db
+from repro.common.errors import ReproError
+
+
+class PolarStoreClient:
+    """A typed handle over one opened PolarStore deployment."""
+
+    def __init__(self, config: ReproConfig) -> None:
+        self.config = config.validate()
+        self._now_us = 0.0
+        self._sharded = config.cluster.shards >= 2
+        if self._sharded:
+            self.runtime = build_cluster(config)
+            self.db = None
+            self._engine = self.runtime.engine
+        else:
+            self.runtime = None
+            self.db = build_db(config)
+            self._engine = None
+            if config.engine.enabled:
+                from repro.engine import Engine
+
+                self._engine = Engine()
+                self.db.bind_engine(
+                    self._engine,
+                    group_commit_window_us=(
+                        config.engine.group_commit_window_us
+                    ),
+                    qd=config.engine.qd,
+                    defer_gc=config.engine.defer_gc,
+                )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        """The client's simulated-time cursor."""
+        if self._engine is not None:
+            return max(self._now_us, self._engine.now_us)
+        return self._now_us
+
+    @property
+    def engine(self):
+        """The bound event kernel (None in plain synchronous mode)."""
+        return self._engine
+
+    @property
+    def sharded(self) -> bool:
+        return self._sharded
+
+    @property
+    def metrics(self):
+        """Cluster-level registry when sharded, volume-wide otherwise."""
+        if self._sharded:
+            return self.runtime.metrics
+        return self.db.metrics
+
+    @property
+    def store(self):
+        """The single underlying volume (single-volume mode only)."""
+        if self._sharded:
+            raise ReproError(
+                "a sharded client has no single volume; use .runtime"
+            )
+        return self.db.store
+
+    def advance_to(self, now_us: float) -> float:
+        """Move the simulated-time cursor forward (never backward)."""
+        self._now_us = max(self._now_us, now_us)
+        if self._engine is not None:
+            self._engine.advance_to(self._now_us)
+        return self.now_us
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _backend(self):
+        return self.runtime if self._sharded else self.db
+
+    def _call(self, op: str, *args, **kwargs):
+        """Route one operation sync-vs-proc based on engine binding."""
+        backend = self._backend()
+        if self._engine is not None:
+            self._engine.advance_to(self._now_us)
+            result = self._engine.run(
+                getattr(backend, op + "_proc")(*args, **kwargs)
+            )
+            self._now_us = max(self._now_us, self._engine.now_us)
+        else:
+            result = getattr(backend, op)(self._now_us, *args, **kwargs)
+            done = getattr(result, "done_us", result)
+            self._now_us = max(self._now_us, float(done))
+        return result
+
+    # -- DDL / DML ---------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        self._backend().create_table(name)
+
+    def insert(self, table: str, key: int, value: bytes):
+        return self._call("insert", table, key, value)
+
+    def update(self, table: str, key: int, value: bytes):
+        return self._call("update", table, key, value)
+
+    def delete(self, table: str, key: int):
+        return self._call("delete", table, key)
+
+    def select(self, table: str, key: int, ro_index: int = -1):
+        if self._sharded:
+            return self._call("select", table, key)
+        return self._call("select", table, key, ro_index=ro_index)
+
+    def range_select(self, table: str, low: int, high: int):
+        return self._call("range_select", table, low, high)
+
+    def bulk_load(
+        self, table: str, rows: Iterable[Tuple[int, bytes]]
+    ) -> float:
+        backend = self._backend()
+        if self._engine is not None:
+            self._engine.advance_to(self._now_us)
+        done = backend.bulk_load(self.now_us, table, list(rows))
+        self._now_us = max(self._now_us, done)
+        return done
+
+    def checkpoint(self) -> float:
+        done = self._backend().checkpoint(self.now_us)
+        self._now_us = max(self._now_us, done)
+        return done
+
+    # -- volume-level page I/O (single-volume mode) ------------------------
+
+    def write_page(self, page_no: int, data: bytes, **kwargs):
+        committed = self.store.write_page(
+            self.now_us, page_no, data, **kwargs
+        )
+        self._now_us = max(self._now_us, committed.commit_us)
+        return committed
+
+    def read_page(self, page_no: int):
+        result = self.store.read_page(self.now_us, page_no)
+        self._now_us = max(self._now_us, result.done_us)
+        return result
+
+    def archive_range(self, page_nos: List[int]) -> float:
+        done = self.store.archive_range(self.now_us, list(page_nos))
+        self._now_us = max(self._now_us, done)
+        return done
+
+    def scrub(self) -> float:
+        done = self.store.scrub(self.now_us)
+        self._now_us = max(self._now_us, done)
+        return done
+
+    # -- cluster operations (sharded mode) ---------------------------------
+
+    def _require_sharded(self):
+        if not self._sharded:
+            raise ReproError(
+                "cluster operations need cluster.shards >= 2 in the config"
+            )
+        return self.runtime
+
+    def rebalance(self, scheduler=None):
+        """Run the zone scheduler and execute its plan as live migration
+        daemons; returns the :class:`MigrationReport`."""
+        return self._require_sharded().rebalance(scheduler)
+
+    def zone_occupancy(self, scheduler=None) -> Dict[str, int]:
+        return self._require_sharded().zone_occupancy(scheduler)
+
+    def wasted_fractions(self) -> Tuple[float, float]:
+        return self._require_sharded().wasted_fractions()
+
+    # -- workload-driver compatibility -------------------------------------
+
+    def bind_engine(self, engine, **kwargs) -> None:
+        """Adopt an external event kernel (what ``run_sysbench`` does).
+
+        A sharded client is born on its runtime's kernel and cannot move;
+        passing that same kernel is a no-op."""
+        if self._sharded:
+            if engine is not self.runtime.engine:
+                raise ReproError(
+                    "a sharded client is bound to its runtime's engine; "
+                    "pass engine=client.engine to the workload driver"
+                )
+            return
+        self._engine = engine
+        self.db.bind_engine(engine, **kwargs)
+
+    def insert_proc(self, table: str, key: int, value: bytes):
+        return self._backend().insert_proc(table, key, value)
+
+    def update_proc(self, table: str, key: int, value: bytes):
+        return self._backend().update_proc(table, key, value)
+
+    def delete_proc(self, table: str, key: int):
+        return self._backend().delete_proc(table, key)
+
+    def select_proc(self, table: str, key: int, ro_index: int = -1):
+        if self._sharded:
+            return self.runtime.select_proc(table, key)
+        return self.db.select_proc(table, key, ro_index=ro_index)
+
+    def range_select_proc(self, table: str, low: int, high: int):
+        return self._backend().range_select_proc(table, low, high)
+
+    # -- space -------------------------------------------------------------
+
+    def compression_ratio(self) -> float:
+        if self._sharded:
+            return self.runtime.compression_ratio()
+        return self.db.compression_ratio()
+
+    @property
+    def logical_bytes(self) -> int:
+        if self._sharded:
+            return sum(s.logical_used for s in self.runtime.shards)
+        return self.db.logical_bytes
+
+    @property
+    def physical_bytes(self) -> int:
+        if self._sharded:
+            return sum(s.physical_used for s in self.runtime.shards)
+        return self.db.physical_bytes
+
+    def close(self) -> None:
+        """Release backend references (idempotent)."""
+        self.db = None
+        self.runtime = None
+        self._engine = None
+
+
+class PolarStore:
+    """The unified entry point: ``PolarStore.open(config)``.
+
+    (Distinct from :class:`repro.storage.store.PolarStore`, the
+    storage-layer volume this facade fronts — see MIGRATION.md.)
+    """
+
+    def __init__(self, *_args, **_kwargs) -> None:
+        raise TypeError(
+            "repro.api.PolarStore is not instantiated directly; call "
+            "PolarStore.open(config) for a client handle, or use "
+            "repro.storage.store.PolarStore for a raw volume"
+        )
+
+    @classmethod
+    def open(
+        cls,
+        config: Optional[Union[ReproConfig, dict]] = None,
+        **sections,
+    ) -> PolarStoreClient:
+        """Open a deployment described by ``config``.
+
+        ``config`` may be a :class:`ReproConfig`, a nested dict in the
+        same shape, or omitted entirely with sections given as keyword
+        arguments: ``PolarStore.open(cluster={"shards": 4})``.
+        """
+        if config is None:
+            config = ReproConfig.from_dict(sections)
+        elif isinstance(config, dict):
+            if sections:
+                raise ValueError(
+                    "pass either a config dict or section kwargs, not both"
+                )
+            config = ReproConfig.from_dict(config)
+        elif isinstance(config, ReproConfig):
+            if sections:
+                raise ValueError(
+                    "section kwargs cannot amend a ReproConfig instance; "
+                    "use dataclasses.replace on the sections instead"
+                )
+        else:
+            raise TypeError(
+                f"config must be ReproConfig, dict, or None, "
+                f"got {type(config).__name__}"
+            )
+        return PolarStoreClient(config)

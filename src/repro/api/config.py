@@ -1,0 +1,217 @@
+"""One typed configuration tree for the whole reproduction.
+
+Historically every entry point grew its own kwargs plumbing: ``build_node``
+took device specs and sizes, :class:`~repro.storage.store.PolarStore` took
+another overlapping set, :class:`~repro.db.database.PolarDB` threaded a
+third through to both, and the cluster/benchmark code re-invented all of
+it per call site.  :class:`ReproConfig` replaces that with a single
+dataclass tree — ``store``, ``device``, ``engine``, ``db``, ``cluster``
+sections — consumed by :meth:`repro.api.PolarStore.open`, the CLI, and
+the figure benchmarks.
+
+``from_dict``/``to_dict`` round-trip the tree through plain JSON-able
+dicts (unknown keys are rejected, so a typo'd override fails loudly
+instead of silently running defaults).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional
+
+from repro.common.units import MiB
+from repro.storage.node import NodeConfig
+
+#: Named device specs selectable from configuration (resolved lazily so
+#: the config module stays import-light).
+DEVICE_SPECS = (
+    "P4510",
+    "P5510",
+    "POLARCSD1",
+    "POLARCSD2",
+    "OPTANE_P4800X",
+    "OPTANE_P5800X",
+)
+
+
+def resolve_spec(name: str):
+    """Look up a :class:`repro.csd.specs.DeviceSpec` by config name."""
+    if name not in DEVICE_SPECS:
+        raise ValueError(
+            f"unknown device spec {name!r}; options: {', '.join(DEVICE_SPECS)}"
+        )
+    import repro.csd.specs as specs
+
+    return getattr(specs, name)
+
+
+@dataclass
+class DeviceSection:
+    """Which simulated devices back each storage node."""
+
+    #: Data device (the compressed-capacity tier).
+    data_spec: str = "POLARCSD2"
+    #: Performance device (WAL + Opt#1 redo).
+    perf_spec: str = "OPTANE_P5800X"
+    #: Drives a storage server stripes across (device parallelism).
+    parallelism: int = 8
+    #: Arm the device-level fault injectors (bit flips, torn writes, ...).
+    inject_faults: bool = False
+
+
+@dataclass
+class StoreSection:
+    """One replicated PolarStore volume."""
+
+    volume_bytes: int = 256 * MiB
+    #: Physical NAND capacity; ``None`` keeps the spec's provisioning ratio.
+    physical_bytes: Optional[int] = None
+    replicas: int = 3
+    seed: int = 0
+    #: Per-node feature switches (§3's optimizations).
+    node: NodeConfig = field(default_factory=NodeConfig)
+
+
+@dataclass
+class EngineSection:
+    """Discrete-event kernel binding (PR 3's concurrency runtime)."""
+
+    #: Bind the stack to a shared event kernel at open time; operations
+    #: then dispatch through the engine-native ``*_proc`` paths.
+    enabled: bool = False
+    #: Group-commit window (0 = flush immediately; batching still
+    #: emerges under load).
+    group_commit_window_us: float = 0.0
+    #: Device queue depth override (None keeps each device's default).
+    qd: Optional[int] = None
+    #: Bank GC work and drain it from an engine daemon.
+    defer_gc: bool = False
+
+
+@dataclass
+class DbSection:
+    """Compute layer sitting on the volume."""
+
+    buffer_pool_pages: int = 256
+    ro_nodes: int = 1
+
+
+@dataclass
+class ClusterSection:
+    """Sharded serving layer (``repro.cluster.runtime``).
+
+    ``shards >= 2`` makes :meth:`repro.api.PolarStore.open` build a
+    :class:`~repro.cluster.runtime.ClusterRuntime` — N replica groups on
+    one shared engine — instead of a single volume.
+    """
+
+    shards: int = 0
+    #: Keys per range-sharded chunk (each key owns one 16 KiB page).
+    chunk_keys: int = 8
+    #: Placement/scheduling block threshold (§4.2.1).
+    usage_limit: float = 0.75
+    #: Half-width of the scheduler's [c_l, c_h] band relative to c_avg.
+    band_width: float = 0.10
+    #: Concurrent migration streams (background mover throttle).
+    migration_streams: int = 2
+    #: Catch-up rounds before the cutover pause forces a final drain.
+    max_catchup_rounds: int = 3
+    #: Physical capacity of each shard as a fraction of its logical
+    #: capacity (drives the logical-vs-physical stranding of Fig 10/11).
+    physical_fraction: float = 0.5
+
+
+@dataclass
+class ReproConfig:
+    """The full configuration tree."""
+
+    store: StoreSection = field(default_factory=StoreSection)
+    device: DeviceSection = field(default_factory=DeviceSection)
+    engine: EngineSection = field(default_factory=EngineSection)
+    db: DbSection = field(default_factory=DbSection)
+    cluster: ClusterSection = field(default_factory=ClusterSection)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "ReproConfig":
+        if self.store.replicas < 1:
+            raise ValueError("store.replicas must be at least 1")
+        if self.store.volume_bytes <= 0:
+            raise ValueError("store.volume_bytes must be positive")
+        if self.cluster.shards < 0:
+            raise ValueError("cluster.shards cannot be negative")
+        if self.cluster.shards == 1:
+            raise ValueError(
+                "cluster.shards == 1 is ambiguous: use 0 for a single "
+                "volume or >= 2 for a sharded runtime"
+            )
+        if self.cluster.chunk_keys < 1:
+            raise ValueError("cluster.chunk_keys must be at least 1")
+        if not 0.0 < self.cluster.usage_limit <= 1.0:
+            raise ValueError("cluster.usage_limit must be in (0, 1]")
+        if self.engine.group_commit_window_us < 0:
+            raise ValueError("engine.group_commit_window_us cannot be negative")
+        resolve_spec(self.device.data_spec)
+        resolve_spec(self.device.perf_spec)
+        return self
+
+    # -- dict round-trip ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able dict (the exact shape ``from_dict`` accepts)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Optional[Dict[str, Any]]) -> "ReproConfig":
+        """Build a config from a (possibly partial) nested dict.
+
+        Unknown section or field names raise ``ValueError`` — silent
+        acceptance of a typo'd key is how experiments run with the wrong
+        parameters without anyone noticing.
+        """
+        doc = dict(doc or {})
+        sections = {f.name: f for f in fields(cls)}
+        unknown = set(doc) - set(sections)
+        if unknown:
+            raise ValueError(
+                f"unknown config sections: {sorted(unknown)}; "
+                f"expected {sorted(sections)}"
+            )
+        kwargs = {}
+        for name, section_field in sections.items():
+            section_cls = section_field.default_factory  # type: ignore[misc]
+            sub = doc.get(name, {})
+            if dataclasses.is_dataclass(sub):
+                kwargs[name] = sub
+                continue
+            kwargs[name] = _section_from_dict(section_cls, name, sub)
+        return cls(**kwargs).validate()
+
+
+def _section_from_dict(section_cls, section_name: str, doc: Dict[str, Any]):
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"config section {section_name!r} must be a dict, "
+            f"got {type(doc).__name__}"
+        )
+    allowed = {f.name for f in fields(section_cls)}
+    unknown = set(doc) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown keys in config section {section_name!r}: "
+            f"{sorted(unknown)}; expected {sorted(allowed)}"
+        )
+    kwargs = dict(doc)
+    # The one nested dataclass below section level: store.node.
+    if section_cls is StoreSection and isinstance(kwargs.get("node"), dict):
+        node_doc = kwargs["node"]
+        node_allowed = {f.name for f in fields(NodeConfig)}
+        node_unknown = set(node_doc) - node_allowed
+        if node_unknown:
+            raise ValueError(
+                f"unknown keys in config section 'store.node': "
+                f"{sorted(node_unknown)}; expected {sorted(node_allowed)}"
+            )
+        kwargs["node"] = NodeConfig(**node_doc)
+    return section_cls(**kwargs)

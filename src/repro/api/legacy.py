@@ -1,0 +1,58 @@
+"""Deprecated pre-facade entry points, kept as thin shims.
+
+Before :meth:`repro.api.PolarStore.open`, callers wired the stack by hand
+from three scattered constructors.  They still work — unchanged modules
+keep importing them from their original homes — but new code should go
+through the facade; importing them *from here* states the intent and
+emits a :class:`DeprecationWarning` so stragglers surface in test runs.
+
+==========================  =============================================
+legacy entry point          facade replacement
+==========================  =============================================
+``build_node(...)``         ``PolarStore.open(...)`` -> ``client.store
+                            .leader`` (or ``build_store(config).leader``)
+``PolarVolume(...)``        ``PolarStore.open(config).store``
+``PolarDB(...)``            ``PolarStore.open(config).db``
+==========================  =============================================
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is a legacy entry point; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def build_node(*args, **kwargs):
+    """Shim for :func:`repro.storage.store.build_node`."""
+    _deprecated("repro.api.legacy.build_node", "repro.api.PolarStore.open")
+    from repro.storage.store import build_node as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def PolarVolume(*args, **kwargs):
+    """Shim for the raw :class:`repro.storage.store.PolarStore` volume."""
+    _deprecated(
+        "repro.api.legacy.PolarVolume",
+        "repro.api.PolarStore.open(config).store",
+    )
+    from repro.storage.store import PolarStore as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def PolarDB(*args, **kwargs):
+    """Shim for :class:`repro.db.database.PolarDB`."""
+    _deprecated(
+        "repro.api.legacy.PolarDB", "repro.api.PolarStore.open(config).db"
+    )
+    from repro.db.database import PolarDB as _impl
+
+    return _impl(*args, **kwargs)

@@ -11,6 +11,14 @@ from repro.cluster.chunk import Chunk, StorageServer
 from repro.cluster.cluster import Cluster, synthesize_cluster
 from repro.cluster.costs import CostModel, DEVICE_COSTS, cost_per_logical_gb
 from repro.cluster.migration import MigrationExecutor, MigrationPlanReport
+from repro.cluster.runtime import (
+    ClusterRuntime,
+    MigrationReport,
+    RuntimeChunk,
+    ShardServer,
+    decode_row_page,
+    encode_row_page,
+)
 from repro.cluster.scheduler import (
     CompressionAwareScheduler,
     LogicalOnlyScheduler,
@@ -27,6 +35,12 @@ __all__ = [
     "MigrationTask",
     "MigrationExecutor",
     "MigrationPlanReport",
+    "ClusterRuntime",
+    "MigrationReport",
+    "RuntimeChunk",
+    "ShardServer",
+    "encode_row_page",
+    "decode_row_page",
     "CostModel",
     "DEVICE_COSTS",
     "cost_per_logical_gb",

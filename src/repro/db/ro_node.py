@@ -58,14 +58,19 @@ class RONode:
         # cache so the next read refetches a consolidated page.
         # (Only needed when the workload mixes writes into cached pages.)
 
+    def _lookup(self, ctx: OpContext, table: str, key: int):
+        """The query body shared by both execution paths: descend the
+        RW node's tree through this node's own buffer pool."""
+        root = self.rw.tree(table).root_page_no
+        leaf = descend(self.pool, ctx, root, key)
+        return leaf.get(key)
+
     def select(self, start_us: float, table: str, key: int) -> OpResult:
         # Execution CPU goes through the node's core pool: it queues when
         # more threads are running than cores exist.
         started = self.cpu.serve(start_us, EXECUTE_CPU_US)
         ctx = OpContext(started)
-        root = self.rw.tree(table).root_page_no
-        leaf = descend(self.pool, ctx, root, key)
-        value = leaf.get(key)
+        value = self._lookup(ctx, table, key)
         # Result assembly + row handling back on the CPU.
         ctx.now_us = self.cpu.serve(ctx.now_us, EXECUTE_CPU_US / 2)
         self.pool.drain_touched()
@@ -78,9 +83,7 @@ class RONode:
         engine = self._sim_engine
         yield from self.cpu.process(EXECUTE_CPU_US)
         ctx = OpContext(engine.now_us)
-        root = self.rw.tree(table).root_page_no
-        leaf = descend(self.pool, ctx, root, key)
-        value = leaf.get(key)
+        value = self._lookup(ctx, table, key)
         self.pool.drain_touched()
         if ctx.now_us > engine.now_us:
             # Storage reads from buffer-pool misses were charged

@@ -123,6 +123,8 @@ class PolarStore:
         network: NetworkModel = NetworkModel(),
         seed: int = 0,
         inject_faults: bool = False,
+        physical_bytes: Optional[int] = None,
+        parallelism: int = 8,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -140,8 +142,10 @@ class PolarStore:
                 data_spec,
                 perf_spec,
                 volume_bytes,
+                physical_bytes=physical_bytes,
                 seed=seed + i * 7,
                 inject_faults=inject_faults,
+                parallelism=parallelism,
                 metrics=self.metrics,
             )
             for i in range(replicas)
@@ -187,6 +191,14 @@ class PolarStore:
             "storage.physical_used_bytes",
             lambda: self.leader.physical_used_bytes,
         )
+
+    @classmethod
+    def from_config(cls, config) -> "PolarStore":
+        """Build a volume from a :class:`repro.api.ReproConfig` (the same
+        wiring :meth:`repro.api.PolarStore.open` uses)."""
+        from repro.api.factory import build_store
+
+        return build_store(config)
 
     def bind_engine(
         self,

@@ -203,10 +203,19 @@ class SysbenchResult:
 def prepare_table(
     db, table: str = "sbtest", rows: int = 2000, seed: int = 0
 ) -> float:
-    """Create and load the sysbench table; returns the load finish time."""
+    """Create and load the sysbench table; returns the load finish time.
+
+    Accepts either a legacy ``PolarDB`` (now_us-threaded calls) or a
+    :class:`repro.api.PolarStoreClient` (which keeps the clock itself).
+    """
     rng = random.Random(seed)
     db.create_table(table)
     data = [(key, default_value(rng, key)) for key in range(rows)]
+    from repro.api.client import PolarStoreClient
+
+    if isinstance(db, PolarStoreClient):
+        db.bulk_load(table, data)
+        return db.checkpoint()
     done = db.bulk_load(0.0, table, data)
     return db.checkpoint(done)
 

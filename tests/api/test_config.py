@@ -1,0 +1,103 @@
+"""The typed configuration tree (repro.api.config)."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.config import (
+    ClusterSection,
+    ReproConfig,
+    StoreSection,
+    resolve_spec,
+)
+from repro.common.units import MiB
+from repro.csd.specs import OPTANE_P5800X, POLARCSD2
+from repro.storage.node import NodeConfig
+
+
+def test_defaults_validate():
+    config = ReproConfig()
+    assert config.validate() is config
+    assert config.cluster.shards == 0
+    assert config.store.node.software_compression is not None
+
+
+def test_dict_round_trip():
+    config = ReproConfig.from_dict({
+        "store": {"volume_bytes": 32 * MiB, "seed": 7},
+        "engine": {"enabled": True, "group_commit_window_us": 25.0},
+        "cluster": {"shards": 3, "chunk_keys": 4},
+    })
+    assert config.store.volume_bytes == 32 * MiB
+    assert config.engine.group_commit_window_us == 25.0
+    assert config.cluster.shards == 3
+    # to_dict -> from_dict is the identity.
+    assert ReproConfig.from_dict(config.to_dict()) == config
+
+
+def test_partial_dict_keeps_defaults():
+    config = ReproConfig.from_dict({"cluster": {"shards": 2}})
+    assert config.store.volume_bytes == ReproConfig().store.volume_bytes
+    assert config.cluster.chunk_keys == ClusterSection().chunk_keys
+
+
+def test_nested_node_config_from_dict():
+    config = ReproConfig.from_dict({
+        "store": {"node": {"software_compression": False}},
+    })
+    assert isinstance(config.store.node, NodeConfig)
+    assert config.store.node.software_compression is False
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(ValueError, match="unknown config sections"):
+        ReproConfig.from_dict({"storage": {}})
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(ValueError, match="store"):
+        ReproConfig.from_dict({"store": {"volume_byte": 1}})
+
+
+def test_unknown_node_key_rejected():
+    with pytest.raises(ValueError, match="store.node"):
+        ReproConfig.from_dict({"store": {"node": {"not_a_switch": True}}})
+
+
+def test_single_shard_is_ambiguous():
+    with pytest.raises(ValueError, match="ambiguous"):
+        ReproConfig.from_dict({"cluster": {"shards": 1}})
+
+
+def test_unknown_device_spec_rejected():
+    with pytest.raises(ValueError, match="unknown device spec"):
+        ReproConfig.from_dict({"device": {"data_spec": "P9999"}})
+
+
+def test_resolve_spec_returns_device_specs():
+    assert resolve_spec("POLARCSD2") is POLARCSD2
+    assert resolve_spec("OPTANE_P5800X") is OPTANE_P5800X
+
+
+def test_sections_are_plain_dataclasses():
+    config = ReproConfig()
+    doc = config.to_dict()
+    assert set(doc) == {"store", "device", "engine", "db", "cluster"}
+    # Every leaf is JSON-able (asdict flattened the NodeConfig too).
+    assert isinstance(doc["store"]["node"], dict)
+
+
+def test_per_instance_sections_do_not_alias():
+    a, b = ReproConfig(), ReproConfig()
+    a.cluster.shards = 5
+    assert b.cluster.shards == 0
+    assert a.store is not b.store
+
+
+def test_replace_builds_variants():
+    base = ReproConfig()
+    variant = dataclasses.replace(
+        base, cluster=dataclasses.replace(base.cluster, shards=2)
+    )
+    assert variant.validate().cluster.shards == 2
+    assert base.cluster.shards == 0

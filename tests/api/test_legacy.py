@@ -1,0 +1,43 @@
+"""The deprecation shims for pre-facade entry points."""
+
+import pytest
+
+from repro.api import legacy
+from repro.common.units import MiB
+from repro.db.database import PolarDB as RealPolarDB
+from repro.storage.node import NodeConfig, StorageNode
+from repro.storage.store import PolarStore as RealVolume
+
+
+def test_build_node_shim_warns_and_delegates():
+    with pytest.warns(DeprecationWarning, match="legacy entry point"):
+        node = legacy.build_node("n0", NodeConfig(), volume_bytes=16 * MiB)
+    assert isinstance(node, StorageNode)
+
+
+def test_polar_volume_shim_warns_and_delegates():
+    with pytest.warns(DeprecationWarning, match="PolarStore.open"):
+        volume = legacy.PolarVolume(NodeConfig(), volume_bytes=16 * MiB)
+    assert isinstance(volume, RealVolume)
+    committed = volume.write_page(0.0, 1, b"x" * 4096)
+    assert committed.commit_us > 0
+
+
+def test_polar_db_shim_warns_and_delegates():
+    with pytest.warns(DeprecationWarning, match="legacy entry point"):
+        db = legacy.PolarDB(volume_bytes=16 * MiB, seed=0)
+    assert isinstance(db, RealPolarDB)
+    db.create_table("t")
+    assert db.insert(0.0, "t", 1, b"v").done_us > 0
+
+
+def test_unshimmed_imports_stay_silent(recwarn):
+    """The original import paths keep working without any warning —
+    only the explicit ``repro.api.legacy`` route announces itself."""
+    from repro.db.database import PolarDB  # noqa: F401
+    from repro.storage.store import PolarStore, build_node  # noqa: F401
+
+    deprecations = [
+        w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+    ]
+    assert not deprecations

@@ -1,0 +1,45 @@
+"""The public-API stability manifest stays in sync with the code."""
+
+import json
+
+from repro.api import manifest
+
+
+def test_manifest_matches_code():
+    drift = manifest.diff_manifest()
+    assert drift == "", f"\n{drift}"
+
+
+def test_manifest_tracks_both_surfaces():
+    recorded = manifest.load_manifest()
+    assert set(recorded) == set(manifest.TRACKED_MODULES)
+    api = recorded["repro.api"]["symbols"]
+    assert "PolarStore" in api
+    assert "open" in api["PolarStore"]["members"]
+    runtime = recorded["repro.cluster.runtime"]["symbols"]
+    assert "ClusterRuntime" in runtime
+    members = runtime["ClusterRuntime"]["members"]
+    for method in ("rebalance", "migrate_chunk_proc", "insert_proc",
+                   "verify_readable"):
+        assert method in members, method
+
+
+def test_manifest_file_is_normalized():
+    """The checked-in file is exactly what --update writes (sorted keys,
+    two-space indent, trailing newline) so diffs stay minimal."""
+    with open(manifest.MANIFEST_PATH) as handle:
+        raw = handle.read()
+    expected = json.dumps(
+        manifest.build_manifest(), indent=2, sort_keys=True
+    ) + "\n"
+    assert raw == expected
+
+
+def test_drift_is_detected_and_explained(monkeypatch):
+    current = manifest.build_manifest()
+    mutated = json.loads(json.dumps(current))
+    mutated["repro.api"]["symbols"].pop("PolarStoreClient")
+    monkeypatch.setattr(manifest, "load_manifest", lambda: mutated)
+    drift = manifest.diff_manifest()
+    assert "PolarStoreClient: added" in drift
+    assert "--update" in drift

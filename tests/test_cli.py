@@ -111,3 +111,24 @@ def test_bench_fig15_quick_writes_artifacts(tmp_path, capsys):
 def test_bench_requires_fig(capsys):
     with pytest.raises(SystemExit):
         main(["bench"])
+
+
+def test_cluster_scenario_writes_artifacts(tmp_path, capsys):
+    assert main([
+        "cluster", "--shards", "2", "--chunks", "2", "--out", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fig10_11_scheduling" in out
+    assert "zones" in out
+    assert "compression-aware:" in out
+    import json
+
+    doc = json.loads((tmp_path / "fig10_11_scheduling.json").read_text())
+    schedulers = [row[0] for row in doc["rows"]]
+    assert schedulers == ["logical_only", "compression_aware"]
+    assert (tmp_path / "fig10_11_scheduling.txt").exists()
+
+
+def test_cluster_rejects_bad_shapes(capsys):
+    assert main(["cluster", "--shards", "1"]) == 2
+    assert main(["cluster", "--shards", "4", "--chunks", "2"]) == 2
