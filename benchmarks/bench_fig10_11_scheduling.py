@@ -1,7 +1,8 @@
 """Figures 10/11 on the live sharded runtime: wasted space and migration
 traffic, logical-only vs compression-aware scheduling.
 
-Unlike ``bench_fig9_11_scheduling.py`` (which schedules a *synthesized*
+This file owns the canonical **Figures 10/11** artifact.  Unlike
+``bench_fig9_scheduling.py`` (Figure 9: dispersion plus a *synthesized*
 cluster of ``(size, ratio)`` counters), this benchmark drives the
 :class:`repro.cluster.runtime.ClusterRuntime`: every shard is a real
 replica group, chunk compression ratios are measured from codec output,

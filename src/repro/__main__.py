@@ -27,6 +27,16 @@ Commands
     layout across real replica groups, show zone A/B/C/D occupancy,
     live-migrate chunks under both schedulers, and persist the wasted-
     space / migration-traffic table + JSON artifact (Figures 10/11).
+``perf``
+    Wall-clock A/B harness: run pinned seeded scenarios serially and
+    again with the codec memo/pool fast path, assert the outputs and
+    simulated timings are identical, and write the speedup scoreboard
+    to ``BENCH_wallclock.json``.  ``--check BASELINE`` is the CI
+    perf-smoke regression gate.
+
+Every command honours ``REPRO_PERF`` (``1``/``on`` for the default
+fast path, or ``pool=N,memo=MiB,kind=process|thread|serial``); unset
+or ``0`` runs the original serial code everywhere.
 """
 
 from __future__ import annotations
@@ -43,8 +53,8 @@ EXPERIMENTS = [
      "device latency vs compression ratio"),
     ("fig8", "benchmarks/bench_fig8_tail_latency.py",
      ">=4ms tail: PolarCSD1.0 vs 2.0"),
-    ("fig9-11", "benchmarks/bench_fig9_11_scheduling.py",
-     "cluster ratio dispersion + zone scheduling"),
+    ("fig9", "benchmarks/bench_fig9_scheduling.py",
+     "cluster ratio dispersion + zone-scheduling model"),
     ("fig10-11", "benchmarks/bench_fig10_11_scheduling.py",
      "live-migration scheduling on the sharded runtime"),
     ("fig12", "benchmarks/bench_fig12_overall.py",
@@ -239,6 +249,13 @@ def cmd_cluster(args) -> int:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["perf"]:
+        # Forwarded wholesale: the harness owns its own argparse, and
+        # nesting its optionals under a subparser would swallow them.
+        from repro.perf.harness import main as perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="PolarStore reproduction toolkit",
@@ -328,6 +345,11 @@ def main(argv=None) -> int:
         help="directory for the table + JSON artifacts "
              "(default: benchmarks/results)",
     )
+    sub.add_parser(
+        "perf",
+        help="wall-clock A/B harness (serial vs codec memo/pool fast "
+             "path); see 'perf --help' for its own options",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -341,6 +363,12 @@ def main(argv=None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    # Honour REPRO_PERF for every command: an opted-in fast path changes
+    # wall-clock only, never a simulated result, so it is safe to apply
+    # globally.  The perf harness manages its own A/B runtimes per run.
+    from repro.perf.runtime import configure_from_env
+
+    configure_from_env()
     return handlers[args.command](args)
 
 

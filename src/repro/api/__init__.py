@@ -12,6 +12,7 @@ from repro.api.config import (
     DbSection,
     DeviceSection,
     EngineSection,
+    PerfConfig,
     ReproConfig,
     StoreSection,
     resolve_spec,
@@ -27,6 +28,7 @@ __all__ = [
     "EngineSection",
     "DbSection",
     "ClusterSection",
+    "PerfConfig",
     "resolve_spec",
     "build_store",
     "build_db",

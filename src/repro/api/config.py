@@ -5,9 +5,9 @@ took device specs and sizes, :class:`~repro.storage.store.PolarStore` took
 another overlapping set, :class:`~repro.db.database.PolarDB` threaded a
 third through to both, and the cluster/benchmark code re-invented all of
 it per call site.  :class:`ReproConfig` replaces that with a single
-dataclass tree — ``store``, ``device``, ``engine``, ``db``, ``cluster``
-sections — consumed by :meth:`repro.api.PolarStore.open`, the CLI, and
-the figure benchmarks.
+dataclass tree — ``store``, ``device``, ``engine``, ``db``, ``cluster``,
+``perf`` sections — consumed by :meth:`repro.api.PolarStore.open`, the
+CLI, and the figure benchmarks.
 
 ``from_dict``/``to_dict`` round-trip the tree through plain JSON-able
 dicts (unknown keys are rejected, so a typo'd override fails loudly
@@ -123,6 +123,31 @@ class ClusterSection:
 
 
 @dataclass
+class PerfConfig:
+    """Wall-clock fast path (``repro.perf``): pool, memo, zero-copy.
+
+    All off by default: the fast path is opt-in, and with ``enabled``
+    False the hot paths run exactly the serial seed code.  Enabling it
+    changes no simulated timing and no output byte (golden-tested) —
+    only how fast the process gets there.
+    """
+
+    #: Master switch; False leaves the serial path untouched.
+    enabled: bool = False
+    #: Codec pool workers; 0 = memo-only, -1 = auto-size from CPU count.
+    pool_workers: int = -1
+    #: ``process`` (true parallelism), ``thread`` (no-fork fallback),
+    #: or ``serial`` (inline compute, for A/B runs).
+    pool_kind: str = "process"
+    #: Codec memo capacity; 0 disables memoization.
+    memo_capacity_bytes: int = 64 * MiB
+    #: memoryview/bytearray plumbing through the page pipeline.
+    zero_copy: bool = True
+    #: Page-buffer arena free-list depth.
+    arena_slots: int = 8
+
+
+@dataclass
 class ReproConfig:
     """The full configuration tree."""
 
@@ -131,6 +156,7 @@ class ReproConfig:
     engine: EngineSection = field(default_factory=EngineSection)
     db: DbSection = field(default_factory=DbSection)
     cluster: ClusterSection = field(default_factory=ClusterSection)
+    perf: PerfConfig = field(default_factory=PerfConfig)
 
     # -- validation --------------------------------------------------------
 
@@ -152,6 +178,16 @@ class ReproConfig:
             raise ValueError("cluster.usage_limit must be in (0, 1]")
         if self.engine.group_commit_window_us < 0:
             raise ValueError("engine.group_commit_window_us cannot be negative")
+        if self.perf.pool_kind not in ("process", "thread", "serial"):
+            raise ValueError(
+                "perf.pool_kind must be 'process', 'thread', or 'serial'"
+            )
+        if self.perf.pool_workers < -1:
+            raise ValueError("perf.pool_workers must be >= -1 (-1 = auto)")
+        if self.perf.memo_capacity_bytes < 0:
+            raise ValueError("perf.memo_capacity_bytes cannot be negative")
+        if self.perf.arena_slots < 1:
+            raise ValueError("perf.arena_slots must be at least 1")
         resolve_spec(self.device.data_spec)
         resolve_spec(self.device.perf_spec)
         return self

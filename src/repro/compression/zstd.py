@@ -246,7 +246,7 @@ class ZstdCodec(Compressor):
         # other token carries an offset.
         n_offsets = sum(1 for sym in ml_syms if sym != 0)
         of_syms, pos = _decode_symbols(payload, pos, n_offsets, _BUCKET_ALPHABET)
-        extras = BitReader(payload[pos:] + b"\x00\x00\x00\x00")
+        extras = BitReader(bytes(payload[pos:]) + b"\x00\x00\x00\x00")
 
         literals = bytes(lit_syms)
         out = bytearray(prefix)

@@ -36,6 +36,7 @@ from repro.csd.mapping import L2PEntryCodecV1, L2PEntryCodecV2
 from repro.csd.specs import DeviceSpec
 from repro.engine import Engine, Resource
 from repro.obs.metrics import MetricsRegistry
+from repro.perf.runtime import perf_active
 
 LBA_SIZE = 4 * KiB
 
@@ -51,6 +52,31 @@ class IOCompletion:
     @property
     def latency_us(self) -> float:
         return self.done_us - self.start_us
+
+
+def _load_blocks(
+    blocks: Dict[int, bytes], name: str, lba: int, nbytes: int
+) -> bytes:
+    """Assemble a read payload from the per-LBA block map.
+
+    Single-block reads (the common case: redo batches, WAL flushes,
+    per-page log blocks, most compressed pages) return the stored bytes
+    object directly — the seed built a ``bytearray`` and copied it to
+    ``bytes`` even for one block.  Multi-block reads join once.
+    """
+    n_blocks = nbytes // LBA_SIZE
+    if n_blocks == 1:
+        block = blocks.get(lba)
+        if block is None:
+            raise DeviceError(f"{name}: read of unwritten LBA {lba}")
+        return block
+    parts = []
+    for i in range(n_blocks):
+        block = blocks.get(lba + i)
+        if block is None:
+            raise DeviceError(f"{name}: read of unwritten LBA {lba + i}")
+        parts.append(block)
+    return b"".join(parts)
 
 
 class BlockDevice:
@@ -232,6 +258,19 @@ class BlockDevice:
         self._finish_read(start_us, done, nbytes)
         return IOCompletion(start_us, done, data)
 
+    def peek(self, lba: int, nbytes: int) -> Optional[bytes]:
+        """Inspect stored content without simulating an I/O.
+
+        No queueing, no latency, no stats, no fault/chaos sampling — this
+        exists solely for the wall-clock prefetcher, which warms the codec
+        memo with content a simulated read is about to fetch anyway.
+        Returns ``None`` where a real read would error (unwritten LBA).
+        """
+        try:
+            return self._load(lba, nbytes)
+        except ReproError:
+            return None
+
     def gc_proc(self, period_us: float = 500.0):
         """Daemon process: drain accumulated FTL relocation work
         (:attr:`_pending_gc_us`) through the device queue, stealing idle
@@ -302,16 +341,10 @@ class PlainSSD(BlockDevice):
             block_lba = lba + i // LBA_SIZE
             if block_lba >= capacity_blocks:
                 raise OutOfSpaceError(f"{self.name}: LBA {block_lba} beyond capacity")
-            self._blocks[block_lba] = data[i : i + LBA_SIZE]
+            self._blocks[block_lba] = bytes(data[i : i + LBA_SIZE])
 
     def _load(self, lba: int, nbytes: int) -> bytes:
-        out = bytearray()
-        for i in range(nbytes // LBA_SIZE):
-            block = self._blocks.get(lba + i)
-            if block is None:
-                raise DeviceError(f"{self.name}: read of unwritten LBA {lba + i}")
-            out += block
-        return bytes(out)
+        return _load_blocks(self._blocks, self.name, lba, nbytes)
 
     def trim(self, lba: int, nbytes: int = LBA_SIZE) -> None:
         self._check_alignment(nbytes)
@@ -374,9 +407,23 @@ class PolarCSD(BlockDevice):
         # NAND programming covers only the compressed bytes.
         physical = 0
         relocated = 0
+        runtime = perf_active()
+        # Block content repeats heavily (filler-tiled row pages, zero
+        # padding), so the compressed length is memoized by content; the
+        # memoryview keeps per-block slicing copy-free.
+        view = (
+            memoryview(data)
+            if runtime is not None and runtime.zero_copy and n_blocks > 1
+            else data
+        )
         for i in range(n_blocks):
-            block = data[i * LBA_SIZE : (i + 1) * LBA_SIZE]
-            compressed_len = min(len(self.engine.compress(block)), LBA_SIZE)
+            block = view[i * LBA_SIZE : (i + 1) * LBA_SIZE]
+            if runtime is not None:
+                compressed_len = min(
+                    runtime.hw_compressed_len(self.engine, block), LBA_SIZE
+                )
+            else:
+                compressed_len = min(len(self.engine.compress(block)), LBA_SIZE)
             relocated += self.ftl.write(lba + i, compressed_len)
             physical += self.ftl.stored_length(lba + i)
         service = (
@@ -415,16 +462,10 @@ class PolarCSD(BlockDevice):
 
     def _store(self, lba: int, data: bytes) -> None:
         for i in range(0, len(data), LBA_SIZE):
-            self._blocks[lba + i // LBA_SIZE] = data[i : i + LBA_SIZE]
+            self._blocks[lba + i // LBA_SIZE] = bytes(data[i : i + LBA_SIZE])
 
     def _load(self, lba: int, nbytes: int) -> bytes:
-        out = bytearray()
-        for i in range(nbytes // LBA_SIZE):
-            block = self._blocks.get(lba + i)
-            if block is None:
-                raise DeviceError(f"{self.name}: read of unwritten LBA {lba + i}")
-            out += block
-        return bytes(out)
+        return _load_blocks(self._blocks, self.name, lba, nbytes)
 
     def trim(self, lba: int, nbytes: int = LBA_SIZE) -> None:
         self._check_alignment(nbytes)

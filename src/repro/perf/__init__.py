@@ -1,0 +1,52 @@
+"""repro.perf — the wall-clock fast path.
+
+Everything else in this reproduction spends its effort on *simulated*
+fidelity: latencies come from calibrated cost models and a deterministic
+event kernel.  This package is about the other axis the ROADMAP names —
+running "as fast as the hardware allows" in *wall-clock* terms — without
+perturbing a single simulated microsecond or output byte.
+
+Three mechanisms, all opt-in (see :class:`repro.api.config.PerfConfig`):
+
+:mod:`repro.perf.memo`
+    A content-addressed codec memo cache.  The codecs are pure functions,
+    so identical inputs (replica-identical consolidation images, scrubber
+    re-reads, migration copies, filler-tiled cluster pages) can skip the
+    pure-Python compressor entirely and replay the recorded output.
+
+:mod:`repro.perf.pool`
+    A ``concurrent.futures`` codec pool with an ordered-completion
+    facade: independent codec jobs (Algorithm 1's dual-codec evaluation,
+    batch prefetches) run across cores while results are consumed in
+    submission order, so the serial hot path sees byte-identical values.
+
+:mod:`repro.perf.arena`
+    A pooled page-buffer arena backing the zero-copy read/write plumbing
+    (``memoryview`` slicing instead of per-page ``bytes`` copies).
+
+:mod:`repro.perf.runtime` ties them together behind ``configure()`` /
+``perf_active()``; :mod:`repro.perf.harness` measures the result
+(``python -m repro perf``) and gates regressions in CI.
+"""
+
+from repro.perf.arena import PageArena
+from repro.perf.memo import CodecMemoCache
+from repro.perf.pool import CodecPool
+from repro.perf.runtime import (
+    PerfRuntime,
+    configure,
+    configure_from_env,
+    deactivate,
+    perf_active,
+)
+
+__all__ = [
+    "CodecMemoCache",
+    "CodecPool",
+    "PageArena",
+    "PerfRuntime",
+    "configure",
+    "configure_from_env",
+    "deactivate",
+    "perf_active",
+]

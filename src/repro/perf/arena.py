@@ -1,0 +1,75 @@
+"""Pooled page-buffer arena for the zero-copy pipeline.
+
+The read path assembles multi-block device payloads and the write path
+pads compressed payloads to 4 KiB boundaries; both used to allocate a
+fresh ``bytes`` object per page.  ``PageArena`` keeps a small free list
+of reusable ``bytearray`` buffers sized for one database page so those
+transient assemblies recycle memory instead of churning the allocator.
+
+Usage discipline: a borrowed buffer is only valid until ``release`` (or
+the next ``assemble`` on the same arena in loan-free code); callers that
+retain data beyond the current operation must copy it out (the storage
+layers already do — caches and device stores keep immutable ``bytes``).
+The simulation is single-threaded at the Python level (the codec pool
+runs in *separate processes*), so no locking is needed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import DB_PAGE_SIZE
+
+
+class PageArena:
+    """Fixed-size free list of page-sized scratch buffers."""
+
+    def __init__(self, slots: int = 8, buffer_bytes: int = DB_PAGE_SIZE) -> None:
+        if slots < 1:
+            raise ValueError(f"arena needs at least one slot, got {slots}")
+        if buffer_bytes < 1:
+            raise ValueError(f"buffer_bytes must be positive, got {buffer_bytes}")
+        self.slots = slots
+        self.buffer_bytes = buffer_bytes
+        self._free: List[bytearray] = []
+        # Wall-clock accounting.
+        self.borrows = 0
+        self.reuses = 0
+        self.allocations = 0
+
+    def borrow(self, nbytes: int) -> bytearray:
+        """A scratch buffer of exactly ``nbytes`` length.
+
+        Buffers up to the arena's page size come from the free list
+        (resized in place); larger requests are plain allocations.
+        """
+        self.borrows += 1
+        if nbytes <= self.buffer_bytes and self._free:
+            buf = self._free.pop()
+            self.reuses += 1
+            if len(buf) != nbytes:
+                if len(buf) < nbytes:
+                    buf.extend(b"\x00" * (nbytes - len(buf)))
+                else:
+                    del buf[nbytes:]
+            return buf
+        self.allocations += 1
+        return bytearray(nbytes)
+
+    def release(self, buf: bytearray) -> None:
+        """Return a buffer to the free list (dropped when full/oversized)."""
+        if len(self._free) < self.slots and len(buf) <= self.buffer_bytes:
+            self._free.append(buf)
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.reuses / self.borrows if self.borrows else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "slots": self.slots,
+            "borrows": self.borrows,
+            "reuses": self.reuses,
+            "allocations": self.allocations,
+            "reuse_rate": round(self.reuse_rate, 6),
+        }

@@ -1,0 +1,172 @@
+"""Parallel codec pool with an ordered-completion facade.
+
+The pure-Python codecs are CPU-bound and hold the GIL, so genuine
+parallelism needs processes; ``CodecPool`` wraps a
+``concurrent.futures.ProcessPoolExecutor`` (``fork`` context where
+available — the workers inherit the already-imported codec registry) with
+a thread-based fallback for platforms without ``fork`` and a ``serial``
+mode that computes inline (useful for A/B harness runs and as a safe
+degradation when only one core exists).
+
+Determinism contract
+--------------------
+Codec functions are pure: a worker process produces byte-for-byte the
+same payload the caller would have produced inline.  The facade exposes
+*futures consumed in submission order* (``PendingCodec.result()``), so no
+completion-order nondeterminism can leak into the simulation: the serial
+hot path blocks exactly where it would have computed the value itself,
+and simulated time — which is charged from the cost models, never from
+wall time — is untouched.  See ``tests/perf/test_golden_equivalence.py``.
+
+What the pool actually parallelizes:
+
+* Algorithm 1's dual-codec evaluation — lz4 and zstd compression of the
+  same page are independent and run on two cores;
+* batch prefetches (``warm_compress``/``warm_decompress``) — known
+  upcoming inputs (scrub payload sweeps, migration chunk images) are
+  compressed/decompressed ahead of the serial consumer, which then hits
+  the memo cache;
+* CRC-32 of each compressed payload, computed in the worker alongside
+  the compression it belongs to.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import zlib
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+def _codec_compress(codec_name: str, data: bytes) -> Tuple[bytes, int]:
+    """Worker body: compress + CRC in one round trip."""
+    from repro.compression.base import get_codec
+
+    payload = get_codec(codec_name).compress(data)
+    return payload, zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def _codec_decompress(codec_name: str, payload: bytes) -> bytes:
+    from repro.compression.base import get_codec
+
+    return get_codec(codec_name).decompress(payload)
+
+
+class PendingCodec:
+    """Handle for one submitted codec job; ``result()`` blocks until done.
+
+    Wraps either a real future or an already-computed value (serial
+    mode), so call sites never branch on the pool flavor.
+    """
+
+    __slots__ = ("_future", "_value")
+
+    def __init__(self, future: Optional[Future] = None, value=None) -> None:
+        self._future = future
+        self._value = value
+
+    def result(self):
+        if self._future is not None:
+            return self._future.result()
+        return self._value
+
+
+class CodecPool:
+    """Executor-backed codec offload with lazy worker start."""
+
+    def __init__(self, workers: int, kind: str = "process") -> None:
+        if workers < 1:
+            raise ValueError(f"pool needs at least one worker, got {workers}")
+        if kind not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown pool kind {kind!r}")
+        if kind == "process" and not _fork_available():
+            kind = "thread"
+        self.workers = workers
+        self.kind = kind
+        self._executor = None
+        # Wall-clock accounting (reported via repro.obs gauges).
+        self.submitted = 0
+        self.completed = 0
+        self.batches = 0
+        self.max_in_flight = 0
+        self._in_flight = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_executor(self):
+        if self._executor is None and self.kind != "serial":
+            if self.kind == "process":
+                ctx = multiprocessing.get_context("fork")
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            atexit.register(self.shutdown)
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- submission --------------------------------------------------------
+
+    def _submit(self, fn: Callable, *args) -> PendingCodec:
+        self.submitted += 1
+        if self.kind == "serial":
+            self.completed += 1
+            return PendingCodec(value=fn(*args))
+        executor = self._ensure_executor()
+        self._in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        future = executor.submit(fn, *args)
+        future.add_done_callback(self._on_done)
+        return PendingCodec(future=future)
+
+    def _on_done(self, _future) -> None:
+        self._in_flight -= 1
+        self.completed += 1
+
+    def submit_compress(self, codec_name: str, data: bytes) -> PendingCodec:
+        """Compress ``data``; resolves to ``(payload, crc32)``."""
+        return self._submit(_codec_compress, codec_name, bytes(data))
+
+    def submit_decompress(self, codec_name: str, payload: bytes) -> PendingCodec:
+        return self._submit(_codec_decompress, codec_name, bytes(payload))
+
+    def map_compress(
+        self, jobs: Sequence[Tuple[str, bytes]]
+    ) -> List[Tuple[bytes, int]]:
+        """Ordered batch compression: results match ``jobs`` order."""
+        self.batches += 1
+        pending = [self.submit_compress(codec, data) for codec, data in jobs]
+        return [p.result() for p in pending]
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "batches": self.batches,
+            "max_in_flight": self.max_in_flight,
+        }
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def default_workers() -> int:
+    """Pool size for ``pool_workers=0`` auto mode: one worker per core
+    beyond the simulator's own, capped at 4 (codec jobs come at most a
+    handful at a time)."""
+    return max(1, min(4, (os.cpu_count() or 1) - 1) or 1)

@@ -3,6 +3,13 @@
 Backs the page cache, the redo-log cache, and the decompressed-segment
 buffer of the heavy-compression path.  Eviction returns the evicted items
 so callers can spill them (the redo cache spills into per-page log space).
+
+Copy audit (zero-copy read path): ``get``/``peek``/``put`` store and hand
+back *references* — no ``bytes()`` materialization happens in this layer.
+The full-page copies the read path used to make lived in the callers
+(``node._read_materialized`` payload slicing, ``device._load`` block
+assembly, ``perpage_log.unseal_block`` body slicing) and were removed
+there; cached page images stay immutable ``bytes`` shared by reference.
 """
 
 from __future__ import annotations

@@ -17,7 +17,7 @@ FIFO — the building block of the volume-level group-commit pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.checksum import crc32
@@ -35,6 +35,7 @@ from repro.compression.cost import codec_cost
 from repro.compression.selector import AlgorithmSelector
 from repro.csd.device import BlockDevice
 from repro.obs.metrics import MetricsRegistry
+from repro.perf.runtime import perf_active
 from repro.storage.allocator import SpaceManager
 from repro.storage.cache import LRUCache
 from repro.storage.heavy import HeavySegmentStore
@@ -49,6 +50,9 @@ from repro.storage.wal import WriteAheadLog
 
 #: CPU cost of applying one redo record during consolidation (µs).
 REDO_APPLY_US_PER_RECORD = 0.3
+
+#: Shared zero block for WAL flush writes (was allocated per flush).
+_ZERO_LBA = b"\x00" * LBA_SIZE
 
 #: CompressionInfo <-> WAL wire ids.
 _STATUS_IDS = {
@@ -94,6 +98,12 @@ class PreparedWrite:
     #: CRC-32 of ``payload``, carried into the index entry and verified
     #: on every read (the integrity check lives above the device).
     checksum: int = 0
+    #: Payload padded to the device write size, computed on first use and
+    #: shared by every replica that persists this prepared write (the
+    #: leader prepares once, all three nodes used to re-pad).
+    _padded: Optional[bytes] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.checksum == 0:
@@ -102,6 +112,17 @@ class PreparedWrite:
     @property
     def device_bytes(self) -> int:
         return self.n_blocks * LBA_SIZE
+
+    def padded_payload(self) -> bytes:
+        """``payload`` zero-padded to ``device_bytes``, cached."""
+        if self._padded is None:
+            pad = self.device_bytes - len(self.payload)
+            object.__setattr__(
+                self,
+                "_padded",
+                self.payload if pad == 0 else self.payload + b"\x00" * pad,
+            )
+        return self._padded
 
 
 @dataclass(frozen=True)
@@ -241,9 +262,14 @@ class StorageNode:
             return PreparedWrite(
                 CompressionInfo.UNCOMPRESSED, None, data, 4, 0.0
             )
+        runtime = perf_active()
         if force_codec is not None:
             codec_name = force_codec
-            payload = get_codec(codec_name).compress(data)
+            if runtime is not None:
+                payload, payload_crc = runtime.compress(codec_name, data)
+            else:
+                payload = get_codec(codec_name).compress(data)
+                payload_crc = 0
             cpu = codec_cost(codec_name).compress_us(len(data))
             evaluated = False
         elif self.config.opt_algorithm_selection:
@@ -255,6 +281,7 @@ class StorageNode:
             )
             codec_name = decision.codec
             payload = decision.result.payload
+            payload_crc = decision.payload_crc
             evaluated = decision.evaluated
             cpu = codec_cost(codec_name).compress_us(len(data))
             if evaluated:
@@ -263,7 +290,11 @@ class StorageNode:
                 cpu += codec_cost(other).compress_us(len(data))
         else:
             codec_name = self.config.default_codec
-            payload = get_codec(codec_name).compress(data)
+            if runtime is not None:
+                payload, payload_crc = runtime.compress(codec_name, data)
+            else:
+                payload = get_codec(codec_name).compress(data)
+                payload_crc = 0
             cpu = codec_cost(codec_name).compress_us(len(data))
             evaluated = False
 
@@ -275,7 +306,8 @@ class StorageNode:
             )
         self._last_algorithm[page_no] = codec_name
         return PreparedWrite(
-            CompressionInfo.NORMAL, codec_name, payload, n_blocks, cpu, evaluated
+            CompressionInfo.NORMAL, codec_name, payload, n_blocks, cpu,
+            evaluated, checksum=payload_crc,
         )
 
     def write_page_local(
@@ -293,9 +325,7 @@ class StorageNode:
         if previous is not None:
             applied_lsn = max(applied_lsn, previous.applied_lsn)
         lba = self.space.allocate_blocks(prepared.device_bytes)
-        padded = prepared.payload + b"\x00" * (
-            prepared.device_bytes - len(prepared.payload)
-        )
+        padded = prepared.padded_payload()
         tracer = self.metrics.tracer
         node_sp = tracer.begin("storage.node_write", start_us, layer="storage")
         dev_sp = tracer.begin("csd.device_write", start_us, layer="csd")
@@ -461,7 +491,17 @@ class StorageNode:
             tracer.end(dev_sp, start_us)
             raise corrupt("unreadable", f"device read failed: {exc}") from exc
         tracer.end(dev_sp, completion.done_us)
-        payload = completion.data[: entry.payload_len]
+        runtime = perf_active()
+        raw = completion.data
+        if entry.payload_len == len(raw):
+            payload = raw
+        elif runtime is not None and runtime.zero_copy:
+            # Trim the block padding without copying the page body: CRC,
+            # hashing, and both codecs read straight from the view.
+            payload = memoryview(raw)[: entry.payload_len]
+        else:
+            payload = raw[: entry.payload_len]
+        verified = bool(entry.checksum)
         if entry.checksum and crc32(payload) != entry.checksum:
             raise corrupt(
                 "checksum_mismatch", "stored payload fails CRC verification"
@@ -469,7 +509,14 @@ class StorageNode:
         cpu = 0.0
         if entry.status is CompressionInfo.NORMAL:
             try:
-                data = get_codec(entry.algorithm).decompress(payload)
+                if runtime is not None:
+                    # Memoized only for CRC-verified payloads: a damaged
+                    # payload can neither hit nor seed the cache.
+                    data = runtime.decompress(
+                        entry.algorithm, payload, verified=verified
+                    )
+                else:
+                    data = get_codec(entry.algorithm).decompress(payload)
             except (CorruptionError, ValueError, IndexError) as exc:
                 raise corrupt(
                     "decompress_error", f"payload does not decompress: {exc}"
@@ -488,7 +535,9 @@ class StorageNode:
             )
             tracer.end(sp, completion.done_us + cpu)
         else:
-            data = payload
+            # Uncompressed pages fill their blocks exactly, so this is
+            # normally ``raw`` itself; materialize the rare trimmed view.
+            data = payload if isinstance(payload, bytes) else bytes(payload)
         self._admit(page_no, data)
         return ReadResult(data, completion.done_us + cpu, 1, cpu)
 
@@ -551,8 +600,17 @@ class StorageNode:
                 if len(self._redo_log_window) > DB_PAGE_SIZE:
                     del self._redo_log_window[: len(self._redo_log_window)
                                              - DB_PAGE_SIZE]
-                window = bytes(self._redo_log_window)
-                payload = get_codec("lz4").compress(window)
+                runtime = perf_active()
+                if runtime is not None:
+                    # Every replica compresses the same window content;
+                    # the memo collapses those to one codec run.
+                    payload, _ = runtime.compress(
+                        "lz4", self._redo_log_window
+                    )
+                else:
+                    payload = get_codec("lz4").compress(
+                        bytes(self._redo_log_window)
+                    )
                 cpu = codec_cost("lz4").compress_us(DB_PAGE_SIZE)
             else:
                 payload = blob
@@ -563,7 +621,10 @@ class StorageNode:
             )
             tracer.end(sp, start_us + cpu)
         nbytes = align_up(max(len(payload), 1), LBA_SIZE)
-        padded = payload + b"\x00" * (nbytes - len(payload))
+        padded = (
+            payload if nbytes == len(payload)
+            else payload + b"\x00" * (nbytes - len(payload))
+        )
         if device is self.perf_device:
             lba = self._next_perf_lba(nbytes)
         else:
@@ -641,7 +702,7 @@ class StorageNode:
         """Flush pending WAL appends as one 4 KB write to the perf device."""
         self._wal_flushes.inc()
         lba = self._next_perf_lba(LBA_SIZE)
-        return self.perf_device.write(start_us, lba, b"\x00" * LBA_SIZE).done_us
+        return self.perf_device.write(start_us, lba, _ZERO_LBA).done_us
 
     def add_redo(self, start_us: float, records: List[RedoRecord]) -> float:
         """Cache redo records; spill the overflow to the log store."""

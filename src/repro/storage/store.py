@@ -37,6 +37,8 @@ from repro.csd.specs import (
     POLARCSD2,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.perf.runtime import perf_active
+from repro.storage.index import CompressionInfo
 from repro.storage.node import NodeConfig, PreparedWrite, ReadResult, StorageNode
 from repro.storage.raft import NetworkModel
 from repro.storage.redo import RedoRecord, encode_records
@@ -191,6 +193,11 @@ class PolarStore:
             "storage.physical_used_bytes",
             lambda: self.leader.physical_used_bytes,
         )
+        runtime = perf_active()
+        if runtime is not None:
+            # Fast-path counters (memo hit rate, pool utilization) flow
+            # through this volume's exporters like any other instrument.
+            runtime.bind_metrics(self.metrics)
 
     @classmethod
     def from_config(cls, config) -> "PolarStore":
@@ -737,6 +744,7 @@ class PolarStore:
         for i, node in enumerate(self.nodes):
             if self._alive[i]:
                 pages.update(p for p, _ in node.index.items())
+        self._warm_scrub_memo(sorted(pages))
         for page_no in sorted(pages):
             for i, node in enumerate(self.nodes):
                 if not self._alive[i] or page_no in self._missed[i]:
@@ -761,6 +769,47 @@ class PolarStore:
                 except DeviceUnavailableError:
                     continue  # device down: scrub this copy next round
         return now
+
+    def _warm_scrub_memo(self, page_nos: Sequence[int]) -> None:
+        """Prefetch the scrub sweep's decompressions into the codec memo.
+
+        The sweep is about to checksum-read every replica copy serially;
+        the payloads are already on the devices, so the codec pool can
+        decompress them ahead of the sweep while it walks.  Only payloads
+        that pass their stored CRC are warmed — the memo's verified-only
+        discipline holds even for speculative work (a chaos-corrupted
+        copy is skipped here and still fails loudly in the sweep).
+        Wall-clock only: no simulated I/O or time is charged.
+        """
+        runtime = perf_active()
+        if runtime is None or runtime.pool is None or runtime.memo is None:
+            return
+        from repro.common.checksum import crc32 as _crc32
+        from repro.common.units import LBA_SIZE
+
+        batches: dict = {}
+        for page_no in page_nos:
+            for i, node in enumerate(self.nodes):
+                if not self._alive[i] or page_no in self._missed[i]:
+                    continue
+                entry = node.index.get(page_no)
+                if (
+                    entry is None
+                    or entry.status is not CompressionInfo.NORMAL
+                    or not entry.checksum
+                ):
+                    continue
+                raw = node.data_device.peek(
+                    entry.lba, entry.n_blocks * LBA_SIZE
+                )
+                if raw is None:
+                    continue
+                payload = memoryview(raw)[: entry.payload_len]
+                if _crc32(payload) != entry.checksum:
+                    continue
+                batches.setdefault(entry.algorithm, []).append(bytes(payload))
+        for algorithm, payloads in batches.items():
+            runtime.warm_decompress(algorithm, payloads)
 
     # ------------------------------------------------------------------ #
     # Space                                                               #

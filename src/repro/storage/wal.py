@@ -42,11 +42,14 @@ class WALRecord:
     payload: bytes
 
     def encode(self) -> bytes:
-        body = _HEADER.pack(0, self.lsn, int(self.type), len(self.payload))
-        crc = crc32(body[4:] + self.payload)
-        return _HEADER.pack(crc, self.lsn, int(self.type), len(self.payload)) + (
-            self.payload
-        )
+        # One buffer, one CRC pass over header-after-crc + payload — the
+        # seed packed the header twice and concatenated a scratch copy of
+        # the payload just to checksum it.
+        buf = bytearray(_HEADER.size + len(self.payload))
+        _HEADER.pack_into(buf, 0, 0, self.lsn, int(self.type), len(self.payload))
+        buf[_HEADER.size:] = self.payload
+        struct.pack_into("<I", buf, 0, crc32(memoryview(buf)[4:]))
+        return bytes(buf)
 
 
 class WriteAheadLog:
@@ -152,7 +155,13 @@ class WriteAheadLog:
         payload = encoded[_HEADER.size : _HEADER.size + length]
         if len(payload) != length:
             raise TornWALError(f"truncated WAL payload at LSN {lsn}")
-        expected = crc32(encoded[4 : _HEADER.size] + payload)
+        # CRC chaining over the views: same polynomial result as
+        # checksumming the concatenation, without building it.
+        view = memoryview(encoded)
+        expected = crc32(
+            view[_HEADER.size : _HEADER.size + length],
+            crc32(view[4 : _HEADER.size]),
+        )
         if crc != expected:
             raise WALError(f"WAL CRC mismatch at LSN {lsn}")
         try:

@@ -1,0 +1,1 @@
+"""Wall-clock fast path (repro.perf): correctness, not speed."""
