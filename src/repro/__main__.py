@@ -33,10 +33,25 @@ Commands
     simulated timings are identical, and write the speedup scoreboard
     to ``BENCH_wallclock.json``.  ``--check BASELINE`` is the CI
     perf-smoke regression gate.
+``events``
+    Run an observed scenario (sysbench / chaos / cluster) with the
+    flight recorder active and print (or dump) the structured event
+    log: page I/O, GC relocations, group-commit flushes, migrations,
+    injected faults, codec selections, scrub repairs, SLO alerts —
+    all stamped with simulated time.  ``--load PATH`` replays and
+    filters a previously-written dump instead of running anything.
+``dash``
+    Run an observed scenario and redraw a live terminal dashboard
+    (queue depths, device utilization, latency percentiles,
+    compression ratio, migration progress, SLO burn-rate sparklines)
+    on every evaluator tick; ``--html PATH`` also writes a static,
+    byte-deterministic HTML report at run end.
 
 Every command honours ``REPRO_PERF`` (``1``/``on`` for the default
 fast path, or ``pool=N,memo=MiB,kind=process|thread|serial``); unset
-or ``0`` runs the original serial code everywhere.
+or ``0`` runs the original serial code everywhere.  ``REPRO_OBS=1``
+activates a flight recorder for any command (``capacity=N,
+sample=io:8`` tunes it).
 """
 
 from __future__ import annotations
@@ -248,6 +263,71 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_events(args) -> int:
+    from repro.obs.events import FlightRecorder, parse_sample_spec
+    from repro.obs.scenarios import run_observed
+
+    if args.load is not None:
+        recorder = FlightRecorder.load(args.load)
+    else:
+        if args.scenario is None:
+            print("events: a scenario (or --load PATH) is required",
+                  file=sys.stderr)
+            return 2
+        sample = parse_sample_spec(args.sample) if args.sample else None
+        run = run_observed(
+            args.scenario,
+            seed=args.seed,
+            quick=not args.full,
+            capacity=args.capacity,
+            sample=sample,
+        )
+        recorder = run.recorder
+        print(f"# scenario {run.name} seed {run.seed}: "
+              f"{recorder.total_emitted} events recorded, "
+              f"verdict {'PASS' if run.passed else 'FAIL'}",
+              file=sys.stderr)
+        if args.out is not None:
+            if args.binary:
+                recorder.dump_binary(args.out)
+            else:
+                recorder.dump_jsonl(args.out)
+            print(f"# wrote {args.out}", file=sys.stderr)
+    selected = recorder.events(
+        channel=args.channel,
+        kind=args.kind,
+        since_us=args.since_us,
+        until_us=args.until_us,
+        limit=args.limit,
+    )
+    for event in selected:
+        print(event.render())
+    summary = recorder.summary()
+    print("# channels: " + " ".join(
+        f"{ch}={row['emitted']}" for ch, row in summary.items()
+    ), file=sys.stderr)
+    if args.load is None and not run.passed:
+        return 1
+    return 0
+
+
+def cmd_dash(args) -> int:
+    from repro.obs.dash import live_dash
+    from repro.obs.report import write_html
+
+    run = live_dash(
+        args.scenario,
+        seed=args.seed,
+        quick=not args.full,
+        interval_us=args.interval_us,
+        ansi=not args.no_ansi,
+    )
+    if args.html is not None:
+        write_html(run, args.html)
+        print(f"wrote {args.html}", file=sys.stderr)
+    return 0 if run.passed else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["perf"]:
@@ -350,6 +430,95 @@ def main(argv=None) -> int:
         help="wall-clock A/B harness (serial vs codec memo/pool fast "
              "path); see 'perf --help' for its own options",
     )
+    events_p = sub.add_parser(
+        "events",
+        help="run an observed scenario and print/dump the flight-"
+             "recorder event log (or --load a previous dump)",
+    )
+    events_p.add_argument(
+        "scenario", nargs="?", choices=("sysbench", "chaos", "cluster"),
+        help="which observed scenario to run (omit with --load)",
+    )
+    events_p.add_argument(
+        "--load", default=None, metavar="PATH",
+        help="replay/filter a previously-written dump instead of running",
+    )
+    events_p.add_argument(
+        "--seed", type=int, default=None,
+        help="scenario seed (default: the scenario's pinned seed)",
+    )
+    events_p.add_argument(
+        "--full", action="store_true",
+        help="full-size workload (default: quick smoke profile)",
+    )
+    events_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the dump here (JSONL; --binary for the "
+             "compact framing)",
+    )
+    events_p.add_argument(
+        "--binary", action="store_true",
+        help="write --out in the binary format instead of JSONL",
+    )
+    events_p.add_argument(
+        "--capacity", type=int, default=65536,
+        help="ring capacity in events (default: 65536)",
+    )
+    events_p.add_argument(
+        "--sample", default=None, metavar="SPEC",
+        help="per-channel sampling, e.g. 'io=8,gc=4' keeps 1 in N",
+    )
+    events_p.add_argument(
+        "--channel", default=None,
+        help="only print events from this channel",
+    )
+    events_p.add_argument(
+        "--kind", default=None,
+        help="only print events of this kind",
+    )
+    events_p.add_argument(
+        "--since-us", type=float, default=None,
+        help="only print events at/after this simulated time",
+    )
+    events_p.add_argument(
+        "--until-us", type=float, default=None,
+        help="only print events before this simulated time",
+    )
+    events_p.add_argument(
+        "--limit", type=int, default=None,
+        help="print only the last N matching events",
+    )
+    dash_p = sub.add_parser(
+        "dash",
+        help="run an observed scenario with a live terminal dashboard",
+    )
+    dash_p.add_argument(
+        "scenario", choices=("sysbench", "chaos", "cluster"),
+        help="which observed scenario to run",
+    )
+    dash_p.add_argument(
+        "--seed", type=int, default=None,
+        help="scenario seed (default: the scenario's pinned seed)",
+    )
+    dash_p.add_argument(
+        "--full", action="store_true",
+        help="full-size workload (default: quick smoke profile)",
+    )
+    dash_p.add_argument(
+        "--interval-us", type=float, default=2_000.0,
+        help="simulated microseconds between dashboard refreshes "
+             "(default: 2000)",
+    )
+    dash_p.add_argument(
+        "--no-ansi", action="store_true",
+        help="append frames instead of redrawing in place (for logs "
+             "and pipes)",
+    )
+    dash_p.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="write the static self-contained HTML report here at "
+             "run end",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -359,6 +528,8 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "bench": cmd_bench,
         "cluster": cmd_cluster,
+        "events": cmd_events,
+        "dash": cmd_dash,
     }
     if args.command is None:
         parser.print_help()
@@ -369,6 +540,11 @@ def main(argv=None) -> int:
     from repro.perf.runtime import configure_from_env
 
     configure_from_env()
+    # Likewise REPRO_OBS: an always-on flight recorder is cheap (ring
+    # append per event) and never changes a simulated result.
+    from repro.obs.events import configure_from_env as obs_from_env
+
+    obs_from_env()
     return handlers[args.command](args)
 
 

@@ -22,20 +22,34 @@ I6  the schedule actually exercised the machinery (≥ ``min_faults``
 
 Every event is also visible as ``chaos.*`` counters in the volume's
 metrics registry and as trace spans, so the observability layer (PR 1)
-tells the same story the report does.
+tells the same story the report does.  The invariants themselves are
+declared as :mod:`repro.obs.slo` specs and the report's verdict is the
+SLO evaluator's final evaluation — chaos shares its pass/fail machinery
+with every other harness in the repo.  With a flight recorder active
+(``repro events chaos`` / ``repro dash chaos``) the crash, device-fail
+window, quorum drill, and every injected fault land on the ``fault``
+channel with simulated timestamps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.chaos.plan import DATA_FAULT_KINDS, FaultKind, FaultPlan, FaultRule
 from repro.common.errors import RaftError
 from repro.common.units import DB_PAGE_SIZE, MiB
+from repro.obs.events import recorder_active
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    ErrorBudgetSLO,
+    InvariantSLO,
+    SLOEvaluator,
+    SLOReport,
+    ThresholdSLO,
+)
 from repro.storage.node import NodeConfig
 from repro.storage.redo import RedoRecord
 from repro.storage.store import PolarStore
@@ -63,6 +77,10 @@ class ChaosReport:
     #: The volume's MetricsRegistry, for exporting the full snapshot
     #: (``python -m repro chaos --metrics``).  Not part of the render.
     metrics: Optional[object] = field(default=None, repr=False)
+    #: Final :class:`~repro.obs.slo.SLOReport` over the six invariants —
+    #: ``violations`` above is its flattened output, so the verdict and
+    #: the SLO evaluator can never disagree.  Not part of the render.
+    slo: Optional[SLOReport] = field(default=None, repr=False)
 
     @property
     def passed(self) -> bool:
@@ -149,12 +167,20 @@ def run_chaos(
     scrub_every: int = 150,
     verbose: bool = False,
     min_data_faults: int = 100,
+    on_progress: Optional[Callable[[int, float], None]] = None,
+    evaluator: Optional[SLOEvaluator] = None,
 ) -> ChaosReport:
     """Run the chaos schedule and return the invariant report.
 
     ``min_data_faults`` is the I6 floor on injected data faults; scale
     it down together with ``ops`` for quick smoke runs (the default
     matches the full 700-op schedule).
+
+    The six invariants are declared as SLO specs on ``evaluator`` (one
+    is created when not supplied) and the report's verdict is the
+    evaluator's — there is exactly one pass/fail code path.
+    ``on_progress(op, now_us)`` fires after every workload op, letting a
+    live dashboard snapshot metrics and re-evaluate SLOs mid-run.
     """
     rng = np.random.default_rng(seed)
     store = PolarStore(NodeConfig(), volume_bytes=volume_bytes, seed=seed)
@@ -169,6 +195,17 @@ def run_chaos(
     oracle: Dict[int, bytearray] = {}
     lsn = [0]
     now = 0.0
+    #: Runtime-observed violations (I1 read-backs, the I4 quorum probe,
+    #: the final I1/I4/I5 sweeps), in chronological order; surfaced
+    #: through the workload-invariant SLO spec below.
+    observed: List[str] = []
+    if evaluator is None:
+        evaluator = SLOEvaluator()
+    evaluator.attach(store.metrics)
+    chaos_specs = _declare_invariant_slos(
+        evaluator, store, plan, report, observed,
+        lambda: crashed, min_data_faults,
+    )
 
     def say(msg: str) -> None:
         if verbose:
@@ -209,7 +246,7 @@ def run_chaos(
         now = result.done_us
         report.reads += 1
         if bytes(result.data) != bytes(oracle[page_no]):
-            report.violations.append(
+            observed.append(
                 f"I1: page {page_no} read mismatch at op {op}"
             )
 
@@ -225,11 +262,15 @@ def run_chaos(
     quorum_at = int(ops * 0.88)
     crashed = False
 
+    rec = recorder_active()
     for op in range(ops):
         if op == crash_at:
             store.fail_node(2)
             crashed = True
             say("follower node 2 crashed (process down, RAM lost)")
+            if rec is not None:
+                rec.emit(now, "fault", "node_crash",
+                         node=store.nodes[2].name, op=op)
         if op == rejoin_at:
             now = store.recover_node(2, now)
             crashed = False
@@ -242,12 +283,18 @@ def run_chaos(
                 rule.from_us = now
                 rule.until_us = now + 40_000.0
             say("node 1 data device failing for 40 ms")
+            if rec is not None:
+                rec.emit(now, "fault", "device_fail_window",
+                         node=store.nodes[1].name, window_us=40_000.0)
         if op == quorum_at:
             # Close any open device-failure window first so the rejoin
             # below is not fighting a dead device.
             for rule in fail_rules:
                 rule.until_us = min(rule.until_us, now)
-            _check_quorum_loss(store, report, now, probe_page=pages + 7)
+            if rec is not None:
+                rec.emit(now, "fault", "quorum_drill", op=op)
+            _check_quorum_loss(store, report, observed, now,
+                               probe_page=pages + 7)
             # Recover the most-up-to-date replica first: node 2 has been
             # healthy since its rejoin, so it holds the only good copy of
             # pages node 1 missed during its device-failure window.
@@ -269,6 +316,8 @@ def run_chaos(
             do_read(page_no)
         if op > 0 and op % scrub_every == 0:
             do_scrub()
+        if on_progress is not None:
+            on_progress(op, now)
 
     # Drain: stop injecting, consolidate all pending redo, resync
     # stragglers, final scrub — then assert convergence.
@@ -283,31 +332,120 @@ def run_chaos(
         result = store.read_page(now, page_no)
         now = result.done_us
         if bytes(result.data) != bytes(oracle[page_no]):
-            report.violations.append(
+            observed.append(
                 f"I1: page {page_no} mismatch in final sweep"
             )
 
     # I5 convergence: every alive replica serves every page byte-exact.
     for i, node in enumerate(store.nodes):
         if not store._alive[i]:
-            report.violations.append(f"I4: node {i} still down at end")
+            observed.append(f"I4: node {i} still down at end")
             continue
         for page_no in sorted(oracle):
             result = node.read_page(now, page_no)
             now = result.done_us
             if bytes(result.data) != bytes(oracle[page_no]):
-                report.violations.append(
+                observed.append(
                     f"I5: replica {i} page {page_no} diverged"
                 )
 
     report.metrics = store.metrics
     _collect_counters(store, plan, report)
-    _check_counter_invariants(report, crashed, min_data_faults)
+    # The verdict is the SLO evaluator's: one final evaluation of the
+    # invariant specs, flattened in declaration order (which reproduces
+    # the historical violation ordering exactly).
+    evaluator.evaluate(now)
+    report.slo = SLOReport(
+        statuses=[evaluator.last[spec.name] for spec in chaos_specs]
+    )
+    report.violations = report.slo.violations()
     return report
 
 
+def _declare_invariant_slos(
+    evaluator: SLOEvaluator,
+    store: PolarStore,
+    plan: FaultPlan,
+    report: ChaosReport,
+    observed: List[str],
+    still_crashed: Callable[[], bool],
+    min_faults: int,
+) -> List:
+    """I1–I6 as declarative SLO specs (in historical violation order)."""
+
+    def i2_check() -> List[str]:
+        out = []
+        for kind in sorted(set(report.detected) | set(report.repaired)):
+            detected = report.detected.get(kind, 0)
+            repaired = report.repaired.get(kind, 0)
+            unrepairable = report.unrepairable.get(kind, 0)
+            if detected != repaired + unrepairable:
+                out.append(
+                    f"I2: kind {kind}: detected={detected} != "
+                    f"repaired={repaired} + unrepairable={unrepairable}"
+                )
+        return out
+
+    def data_faults() -> int:
+        return sum(
+            n for kind, n in plan.injected.items()
+            if FaultKind(kind) in DATA_FAULT_KINDS
+        )
+
+    def wal_replays() -> int:
+        return sum(
+            int(inst.value)
+            for inst in store.metrics.find("chaos.wal_replays")
+        )
+
+    specs = [
+        InvariantSLO(
+            "chaos.workload_invariants", lambda: list(observed),
+            description="I1/I4/I5: read-backs, quorum probe, convergence",
+        ),
+        InvariantSLO(
+            "chaos.repair_accounting", i2_check,
+            description="I2: detected == repaired + unrepairable per kind",
+        ),
+        ErrorBudgetSLO(
+            "chaos.repairability", "chaos.unrepairable", budget=0.0,
+            message=lambda bad, total: (
+                f"I3: {int(bad)} corruptions had no healthy copy"
+            ),
+        ),
+        ThresholdSLO(
+            "chaos.rejoin",
+            lambda: 0.0 if still_crashed() else 1.0, floor=1.0,
+            message=lambda v: "I4: follower never rejoined",
+        ),
+        ThresholdSLO(
+            "chaos.fault_floor", data_faults, floor=float(min_faults),
+            message=lambda v: (
+                f"I6: only {int(v)} data faults injected "
+                f"(schedule requires >= {min_faults})"
+            ),
+        ),
+        ThresholdSLO(
+            "chaos.wal_replayed", wal_replays, floor=1.0,
+            message=lambda v: "I6: recovery never replayed a WAL",
+        ),
+        ThresholdSLO(
+            "chaos.quorum_drill",
+            lambda: float(report.quorum_errors), floor=1.0,
+            message=lambda v: "I6: quorum loss was never exercised",
+        ),
+    ]
+    for spec in specs:
+        evaluator.add(spec)
+    return specs
+
+
 def _check_quorum_loss(
-    store: PolarStore, report: ChaosReport, now: float, probe_page: int
+    store: PolarStore,
+    report: ChaosReport,
+    observed: List[str],
+    now: float,
+    probe_page: int,
 ) -> None:
     """I4: with both followers down, a write must raise RaftError.
 
@@ -322,7 +460,7 @@ def _check_quorum_loss(
     except RaftError:
         report.quorum_errors += 1
     else:
-        report.violations.append(
+        observed.append(
             "I4: write committed without a quorum (no RaftError)"
         )
 
@@ -350,33 +488,3 @@ def _collect_counters(
             report.wal_replays += value
         elif inst.name == "chaos.resynced_pages":
             report.resynced_pages += value
-
-
-def _check_counter_invariants(
-    report: ChaosReport, crashed: bool, min_faults: int = 100
-) -> None:
-    for kind in sorted(set(report.detected) | set(report.repaired)):
-        detected = report.detected.get(kind, 0)
-        repaired = report.repaired.get(kind, 0)
-        unrepairable = report.unrepairable.get(kind, 0)
-        if detected != repaired + unrepairable:
-            report.violations.append(
-                f"I2: kind {kind}: detected={detected} != "
-                f"repaired={repaired} + unrepairable={unrepairable}"
-            )
-    total_unrepairable = sum(report.unrepairable.values())
-    if total_unrepairable:
-        report.violations.append(
-            f"I3: {total_unrepairable} corruptions had no healthy copy"
-        )
-    if crashed:
-        report.violations.append("I4: follower never rejoined")
-    if report.injected_data_faults < min_faults:
-        report.violations.append(
-            f"I6: only {report.injected_data_faults} data faults injected "
-            f"(schedule requires >= {min_faults})"
-        )
-    if report.wal_replays < 1:
-        report.violations.append("I6: recovery never replayed a WAL")
-    if report.quorum_errors < 1:
-        report.violations.append("I6: quorum loss was never exercised")

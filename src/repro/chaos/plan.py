@@ -42,6 +42,7 @@ import numpy as np
 from repro.common.checksum import crc32
 from repro.common.errors import DeviceUnavailableError
 from repro.common.units import LBA_SIZE
+from repro.obs.events import recorder_active
 
 
 class FaultKind(enum.Enum):
@@ -203,7 +204,8 @@ class DeviceInjector:
                 continue
             if rule.window_active(now_us):
                 self.plan.record_injection(
-                    FaultKind.DEVICE_FAIL, self.label, once_per_rule=rule
+                    FaultKind.DEVICE_FAIL, self.label, once_per_rule=rule,
+                    now_us=now_us,
                 )
                 raise DeviceUnavailableError(
                     f"{self.label}: device down "
@@ -233,7 +235,7 @@ class DeviceInjector:
             ):
                 continue
             rule.fired += 1
-            self.plan.record_injection(rule.kind, self.label)
+            self.plan.record_injection(rule.kind, self.label, now_us=now_us)
             ledger = self.plan.ledger
             if rule.kind is FaultKind.BIT_FLIP:
                 pos = int(self.rng.integers(len(data)))
@@ -281,7 +283,9 @@ class DeviceInjector:
             ):
                 continue
             rule.fired += 1
-            self.plan.record_injection(FaultKind.SLOW_IO, self.label)
+            self.plan.record_injection(
+                FaultKind.SLOW_IO, self.label, now_us=now_us
+            )
             total += rule.slow_us * (0.5 + float(self.rng.random()))
         return total
 
@@ -341,6 +345,7 @@ class FaultPlan:
         kind: FaultKind,
         label: str,
         once_per_rule: Optional[FaultRule] = None,
+        now_us: Optional[float] = None,
     ) -> None:
         if once_per_rule is not None:
             key = (id(once_per_rule), label)
@@ -352,6 +357,12 @@ class FaultPlan:
             self.metrics.counter(
                 "chaos.injected", kind=kind.value, device=label
             ).add(1)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                now_us if now_us is not None else 0.0,
+                "fault", "injected", kind=kind.value, device=label,
+            )
 
     @property
     def total_injected(self) -> int:

@@ -47,6 +47,7 @@ from repro.cluster.scheduler import (
 )
 from repro.db.rw_node import OpResult
 from repro.engine import Engine, Queue
+from repro.obs.events import recorder_active
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.store import PolarStore
 
@@ -474,15 +475,24 @@ class ClusterRuntime:
             started = engine.now_us
             source = self.shards[chunk.shard_id]
             target = self.shards[target_id]
+            source_id = chunk.shard_id
             self._mig_tasks.inc()
             chunk.state = ChunkState.MIGRATING
             chunk.dirty = set()
             chunk.deleted = {}
+            rec = recorder_active()
+            if rec is not None:
+                rec.emit(
+                    started, "migration", "started",
+                    chunk=chunk.chunk_id, source=source_id,
+                    target=target_id, keys=len(chunk.rows),
+                )
             # Phase 1: bulk copy of the membership snapshot.
             snapshot = sorted(chunk.rows)
             copied = yield from self._copy_keys(
                 chunk, source, target, snapshot, catchup=False
             )
+            copy_done = engine.now_us
             # Phase 2: catch-up rounds replay pages dirtied meanwhile.
             rounds = 0
             while chunk.dirty and rounds < self.max_catchup_rounds:
@@ -491,6 +501,12 @@ class ClusterRuntime:
                 chunk.dirty = set()
                 yield from self._copy_keys(
                     chunk, source, target, delta, catchup=True
+                )
+            catchup_done = engine.now_us
+            if rec is not None:
+                rec.emit(
+                    catchup_done, "migration", "catchup_done",
+                    chunk=chunk.chunk_id, rounds=rounds, copied=copied,
                 )
             # Phase 3: cutover — gate new writers, wait for in-flight
             # source writes to quiesce, then drain the final delta.
@@ -516,10 +532,49 @@ class ClusterRuntime:
             chunk.state = ChunkState.SERVING
             gate, chunk.gate = chunk.gate, None
             gate.succeed(engine.now_us)
-            self._mig_chunk_us.record(engine.now_us - started)
+            ended = engine.now_us
+            self._mig_chunk_us.record(ended - started)
+            if rec is not None:
+                rec.emit(
+                    ended, "migration", "cutover_done",
+                    chunk=chunk.chunk_id, source=source_id,
+                    target=target_id,
+                    total_us=round(ended - started, 3),
+                )
+            self._trace_migration(started, copy_done, catchup_done, ended)
             return copied
         finally:
             self._streams.put(token)
+
+    def _trace_migration(
+        self,
+        started: float,
+        copy_done: float,
+        catchup_done: float,
+        ended: float,
+    ) -> None:
+        """Retrospective spans for one completed migration.
+
+        A migration daemon yields through dozens of engine waits, so an
+        ambient span cannot stay open across its lifetime; instead the
+        phase boundary timestamps are captured as the daemon runs and the
+        whole trace is emitted synchronously here, at completion.  The
+        child phases tile the root exactly, so the per-layer exclusive
+        times keep summing to the end-to-end simulated latency.
+        """
+        tracer = self.metrics.tracer
+        root = tracer.begin("cluster.migrate_chunk", started, layer="cluster")
+        sp = tracer.begin("cluster.migrate.copy", started, layer="cluster")
+        tracer.end(sp, copy_done)
+        sp = tracer.begin(
+            "cluster.migrate.catchup", copy_done, layer="cluster"
+        )
+        tracer.end(sp, catchup_done)
+        sp = tracer.begin(
+            "cluster.migrate.cutover", catchup_done, layer="cluster"
+        )
+        tracer.end(sp, ended)
+        tracer.end(root, ended)
 
     def _copy_keys(
         self,

@@ -35,6 +35,7 @@ from repro.csd.ftl import FTL
 from repro.csd.mapping import L2PEntryCodecV1, L2PEntryCodecV2
 from repro.csd.specs import DeviceSpec
 from repro.engine import Engine, Resource
+from repro.obs.events import recorder_active
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.runtime import perf_active
 
@@ -129,6 +130,11 @@ class BlockDevice:
         #: device queue instead of being charged inline to the writer.
         self._defer_gc = False
         self._pending_gc_us = 0.0
+        #: Bytes the FTL relocated during the most recent write's service
+        #: computation; stashed by the subclass (which has no timestamp)
+        #: and turned into a ``gc`` flight-recorder event by
+        #: :meth:`_submit_write` (which does).
+        self._last_relocated = 0
 
     def attach_chaos(self, injector) -> None:
         """Arm a :class:`repro.chaos.DeviceInjector` on this device."""
@@ -179,7 +185,18 @@ class BlockDevice:
         self._check_alignment(len(data))
         if self._chaos is not None:
             self._chaos.begin_io(start_us)
+        self._last_relocated = 0
         service = self._service_write_us(lba, data)
+        if self._last_relocated:
+            rec = recorder_active()
+            if rec is not None:
+                rec.emit(
+                    start_us, "gc", "relocated",
+                    node=self.metric_labels.get("node", ""),
+                    device=self.spec.name,
+                    bytes=self._last_relocated,
+                    deferred=self._defer_gc,
+                )
         service *= self._jitter()
         service += self._fault_extra(is_read=False)
         store_lba, store_data = lba, data
@@ -281,7 +298,15 @@ class BlockDevice:
             if self._pending_gc_us > 0.0:
                 burst = self._pending_gc_us
                 self._pending_gc_us = 0.0
-                yield from self.queue.process(burst)
+                done = yield from self.queue.process(burst)
+                rec = recorder_active()
+                if rec is not None:
+                    rec.emit(
+                        done, "gc", "deferred_drain",
+                        node=self.metric_labels.get("node", ""),
+                        device=self.spec.name,
+                        burst_us=round(burst, 3),
+                    )
 
     # -- helpers --------------------------------------------------------------
 
@@ -426,6 +451,7 @@ class PolarCSD(BlockDevice):
                 compressed_len = min(len(self.engine.compress(block)), LBA_SIZE)
             relocated += self.ftl.write(lba + i, compressed_len)
             physical += self.ftl.stored_length(lba + i)
+        self._last_relocated = relocated
         service = (
             self.spec.write_fixed_us
             + self.spec.transfer_us(len(data))

@@ -116,7 +116,16 @@ class PolarDB:
 
     def checkpoint(self, now_us: float) -> float:
         """Force the storage layer to materialize all pending redo."""
-        return self.store.checkpoint(now_us)
+        done = self.store.checkpoint(now_us)
+        from repro.obs.events import recorder_active
+
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                done, "db", "checkpoint",
+                duration_us=round(done - now_us, 3),
+            )
+        return done
 
     # -- observability ----------------------------------------------------------
 

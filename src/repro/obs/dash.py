@@ -1,0 +1,275 @@
+"""Live terminal dashboard over the observability plane.
+
+``python -m repro dash <scenario>`` runs an observed scenario
+(:mod:`repro.obs.scenarios`) and redraws one compact frame per
+evaluator tick: device queue depths and utilization, storage latency
+percentiles, compression ratio, migration progress, chaos repair
+counters, the flight-recorder channel mix, and every SLO with a
+burn-rate sparkline of its history.
+
+The renderer is deliberately split from the terminal loop:
+:func:`collect_stats` produces a plain, deterministically-ordered dict
+from the run's registries (the HTML report reuses it), and
+:func:`render_frame` turns that dict into text.  Both are pure reads —
+rendering a frame never creates an instrument or perturbs the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
+from repro.obs.scenarios import ObservedRun, run_observed
+from repro.obs.slo import SLO
+
+#: Eight-level bar glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    The last ``width`` values are shown; a flat series renders as the
+    lowest bar so that "no variation" and "no data" look different.
+    """
+    tail = [float(v) for v in values][-width:]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(tail)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / span * len(_SPARK)))]
+        for v in tail
+    )
+
+
+# ---------------------------------------------------------------------------
+# stats collection (pure reads, deterministic ordering)
+# ---------------------------------------------------------------------------
+
+
+def _merged_hist(
+    registries: Sequence[MetricsRegistry], name: str
+) -> Optional[Histogram]:
+    return SLO._merged_histogram(registries, name)
+
+
+def _sum_values(registries: Sequence[MetricsRegistry], name: str) -> float:
+    total = 0.0
+    for registry in registries:
+        for inst in registry.find(name):
+            total += float(getattr(inst, "value", 0.0))
+    return total
+
+
+def _resource_rows(
+    registries: Sequence[MetricsRegistry],
+) -> List[Dict[str, object]]:
+    """One row per resource name: depth summed, utilization maxed
+    (shards duplicate device names; the hottest replica is the story)."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for metric, field_name in (
+        ("engine.resource.queue_depth", "depth"),
+        ("engine.resource.utilization", "util"),
+    ):
+        for registry in registries:
+            for inst in registry.find(metric):
+                if not isinstance(inst, Gauge):
+                    continue
+                key = inst.labels.get("resource", "?")
+                row = rows.setdefault(key, {"depth": 0.0, "util": 0.0})
+                if field_name == "depth":
+                    row["depth"] += inst.value
+                else:
+                    row["util"] = max(row["util"], inst.value)
+    return [
+        {"resource": name, "depth": rows[name]["depth"],
+         "util": rows[name]["util"]}
+        for name in sorted(rows)
+    ]
+
+
+def collect_stats(run: ObservedRun) -> Dict[str, object]:
+    """Everything one frame (or the HTML report) shows, as plain data."""
+    regs = run.registries
+    latencies = {}
+    for metric in (
+        "storage.page_write_us",
+        "storage.page_read_us",
+        "storage.redo_commit_us",
+        "cluster.migration.chunk_us",
+    ):
+        hist = _merged_hist(regs, metric)
+        if hist is None or hist.count == 0:
+            continue
+        latencies[metric] = {
+            "count": hist.count,
+            "p50": round(hist.percentile(50), 1),
+            "p99": round(hist.percentile(99), 1),
+        }
+    logical = _sum_values(regs, "storage.logical_used_bytes")
+    physical = _sum_values(regs, "storage.physical_used_bytes")
+    migration = {
+        key.rsplit(".", 1)[1]: int(_sum_values(regs, key))
+        for key in (
+            "cluster.migration.tasks",
+            "cluster.migration.pages",
+            "cluster.migration.catchup_pages",
+        )
+        if _sum_values(regs, key) > 0
+    }
+    chaos = {
+        key.rsplit(".", 1)[1]: int(_sum_values(regs, key))
+        for key in (
+            "chaos.injected",
+            "chaos.detected",
+            "chaos.repaired",
+            "chaos.unrepairable",
+        )
+        if _sum_values(regs, key) > 0
+    }
+    slos = []
+    for name in sorted(run.evaluator.last):
+        status = run.evaluator.last[name]
+        slos.append({
+            "name": name,
+            "ok": status.ok,
+            "value": round(status.value, 3),
+            "target": round(status.target, 3),
+            "history": [
+                round(v, 3) for v in run.evaluator.sparkline_values(name)
+            ],
+        })
+    return {
+        "scenario": run.name,
+        "seed": run.seed,
+        "now_us": round(run.now_us, 3),
+        "resources": _resource_rows(regs),
+        "latencies": latencies,
+        "compression_ratio": (
+            round(logical / physical, 3) if physical > 0 else 0.0
+        ),
+        "migration": migration,
+        "chaos": chaos,
+        "channels": run.recorder.summary(),
+        "slos": slos,
+        "alerts": run.evaluator.alerts,
+        "passed": all(s["ok"] for s in slos) if slos else True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# frame rendering
+# ---------------------------------------------------------------------------
+
+
+def render_frame(run: ObservedRun, width: int = 78) -> str:
+    """One full dashboard frame as plain text (no ANSI)."""
+    stats = collect_stats(run)
+    bar = "─" * width
+    lines = [
+        f"repro dash · {stats['scenario']} · seed {stats['seed']} "
+        f"· t={stats['now_us'] / 1e3:.1f}ms",
+        bar,
+    ]
+    if stats["resources"]:
+        lines.append("devices              depth  util")
+        for row in stats["resources"][:10]:
+            gauge = "█" * int(round(row["util"] * 10))
+            lines.append(
+                f"  {row['resource']:<18} {row['depth']:>5.0f}  "
+                f"{row['util']:>5.2f} {gauge}"
+            )
+    if stats["latencies"]:
+        lines.append("latency (us)                 n      p50      p99")
+        for metric, row in sorted(stats["latencies"].items()):
+            short = metric.split(".", 1)[1]
+            lines.append(
+                f"  {short:<24} {row['count']:>6} {row['p50']:>8.1f} "
+                f"{row['p99']:>8.1f}"
+            )
+    summary = [f"compression ratio {stats['compression_ratio']:.2f}x"]
+    if stats["migration"]:
+        summary.append(
+            "migration " + " ".join(
+                f"{k}={v}" for k, v in sorted(stats["migration"].items())
+            )
+        )
+    if stats["chaos"]:
+        summary.append(
+            "chaos " + " ".join(
+                f"{k}={v}" for k, v in sorted(stats["chaos"].items())
+            )
+        )
+    lines.append(" · ".join(summary))
+    if stats["channels"]:
+        lines.append("events " + " ".join(
+            f"{ch}={row['emitted']}"
+            for ch, row in stats["channels"].items()
+        ))
+    if stats["slos"]:
+        lines.append(bar)
+        lines.append("SLOs")
+        for slo in stats["slos"]:
+            mark = "ok " if slo["ok"] else "ALR"
+            lines.append(
+                f"  [{mark}] {slo['name']:<28} {slo['value']:>12.3f} "
+                f"/ {slo['target']:<12.3f} {sparkline(slo['history'])}"
+            )
+    lines.append(bar)
+    verdict = "PASS" if stats["passed"] else "FAIL"
+    lines.append(
+        f"verdict {verdict} · alerts {stats['alerts']}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# terminal loop
+# ---------------------------------------------------------------------------
+
+#: Move home + clear to end of screen (frame sizes shrink and grow).
+_ANSI_REFRESH = "\x1b[H\x1b[J"
+
+
+def live_dash(
+    scenario: str,
+    seed: Optional[int] = None,
+    quick: bool = True,
+    interval_us: float = 2_000.0,
+    ansi: bool = True,
+    stream=None,
+) -> ObservedRun:
+    """Run a scenario, redrawing the dashboard on every evaluator tick."""
+    out = stream if stream is not None else sys.stdout
+    frames = {"count": 0}
+
+    def on_tick(run: ObservedRun, now_us: float) -> None:
+        frames["count"] += 1
+        prefix = _ANSI_REFRESH if ansi else ""
+        sep = "" if ansi else "\n"
+        out.write(prefix + render_frame(run) + "\n" + sep)
+        out.flush()
+
+    run = run_observed(
+        scenario, seed=seed, quick=quick,
+        on_tick=on_tick, interval_us=interval_us,
+    )
+    # Always leave a final frame on screen, even for runs too short to
+    # tick (the run-end tick fires this via on_tick already, so only
+    # draw here if nothing was ever drawn).
+    if frames["count"] == 0:
+        out.write(render_frame(run) + "\n")
+        out.flush()
+    return run
+
+
+__all__ = [
+    "collect_stats",
+    "live_dash",
+    "render_frame",
+    "sparkline",
+]

@@ -1,17 +1,20 @@
 """Registry exporters: JSON for tooling, Prometheus text for scrapers.
 
 The Prometheus exporter follows the text exposition format: metric names
-are sanitized (dots become underscores), histograms emit cumulative
-``_bucket{le=...}`` lines ending in ``+Inf`` plus ``_sum``/``_count``,
-and callback gauges are evaluated at export time.  Timeseries export
-their most recent window as a gauge (scrapers keep their own history).
+are sanitized (dots become underscores), label values are escaped
+(backslash, double-quote, newline — the three characters the format
+requires), every family gets ``# HELP`` and ``# TYPE`` exactly once,
+histograms emit cumulative ``_bucket{le=...}`` lines ending in ``+Inf``
+plus ``_sum``/``_count``, and callback gauges are evaluated at export
+time.  Timeseries export their most recent window as a gauge (scrapers
+keep their own history).
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.timeseries import TimeSeries
@@ -31,14 +34,28 @@ def prometheus_name(name: str) -> str:
     return sanitized
 
 
-def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape per the exposition format: ``\\`` then ``"`` then newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str],
+                   extra: Optional[Dict[str, str]] = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
     body = ",".join(
-        f'{prometheus_name(k)}="{v}"' for k, v in sorted(merged.items())
+        f'{prometheus_name(k)}="{escape_label_value(v)}"'
+        for k, v in sorted(merged.items())
     )
     return "{" + body + "}"
 
@@ -46,24 +63,31 @@ def _render_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
 def to_prometheus(registry: MetricsRegistry) -> str:
     """Prometheus text exposition of every instrument."""
     lines: List[str] = []
-    typed: set = set()
+    declared: set = set()
 
-    def declare(name: str, kind: str) -> None:
-        if name not in typed:
-            lines.append(f"# TYPE {name} {kind}")
-            typed.add(name)
+    def declare(name: str, kind: str, source: str) -> None:
+        # HELP and TYPE exactly once per family, even when many labeled
+        # variants (or dotted names that sanitize identically) share it.
+        if name in declared:
+            return
+        declared.add(name)
+        lines.append(
+            f"# HELP {name} "
+            f"{escape_help_text(f'repro instrument {source}')}"
+        )
+        lines.append(f"# TYPE {name} {kind}")
 
     for instrument in registry.instruments():
         name = prometheus_name(instrument.name)
         labels = instrument.labels
         if isinstance(instrument, Counter):
-            declare(name, "counter")
+            declare(name, "counter", instrument.name)
             lines.append(f"{name}{_render_labels(labels)} {instrument.value:g}")
         elif isinstance(instrument, Gauge):
-            declare(name, "gauge")
+            declare(name, "gauge", instrument.name)
             lines.append(f"{name}{_render_labels(labels)} {instrument.value:g}")
         elif isinstance(instrument, Histogram):
-            declare(name, "histogram")
+            declare(name, "histogram", instrument.name)
             for le, cumulative in instrument.cumulative_buckets():
                 lines.append(
                     f"{name}_bucket"
@@ -81,7 +105,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                 f"{name}_count{_render_labels(labels)} {instrument.count}"
             )
         elif isinstance(instrument, TimeSeries):
-            declare(name, "gauge")
+            declare(name, "gauge", instrument.name)
             points = instrument.points()
             latest = points[-1][1] if points else 0.0
             lines.append(f"{name}{_render_labels(labels)} {latest:g}")

@@ -26,6 +26,15 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
+#: Default cap on distinct label-sets per metric family.  High enough
+#: that every in-repo scenario stays far below it; cluster-scale runs
+#: with runaway per-key labels overflow into ``__other__`` instead of
+#: growing the registry without bound.
+DEFAULT_MAX_LABEL_SETS = 256
+
+#: Label value marking the shared overflow bucket of a capped family.
+OVERFLOW_BUCKET = "__other__"
+
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -382,8 +391,15 @@ class MetricsRegistry:
     context flows through the stack without threading extra parameters.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        if max_label_sets < 1:
+            raise ValueError(
+                f"max_label_sets must be positive: {max_label_sets}"
+            )
         self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+        #: Cardinality guard: cap on distinct label-sets per metric name.
+        self.max_label_sets = max_label_sets
+        self._label_sets: Dict[str, int] = {}
         # Imported lazily to avoid a module cycle (tracing records spans
         # back into this registry's histograms).
         from repro.obs.tracing import Tracer
@@ -392,13 +408,42 @@ class MetricsRegistry:
 
     # -- get-or-create -----------------------------------------------------
 
+    def _admit(self, name: str, labels: Dict) -> Tuple[Dict, bool]:
+        """Cardinality guard: decide where a *new* label-set lands.
+
+        Families below the cap admit the label-set as-is.  At the cap,
+        the lookup is routed to the family's shared ``__other__`` bucket
+        and ``obs.label_overflow{metric=...}`` counts the routed lookup,
+        so saturation is visible instead of silent.
+        """
+        if self._label_sets.get(name, 0) < self.max_label_sets:
+            self._label_sets[name] = self._label_sets.get(name, 0) + 1
+            return labels, False
+        self._bump_overflow(name)
+        return {"overflow": OVERFLOW_BUCKET}, True
+
+    def _bump_overflow(self, name: str) -> None:
+        # Created directly (not via counter()) so the overflow counter
+        # itself can never recurse through the admission check.
+        key = ("obs.label_overflow", (("metric", name),))
+        counter = self._instruments.get(key)
+        if counter is None:
+            counter = Counter("obs.label_overflow", {"metric": name})
+            self._instruments[key] = counter
+        counter.inc()
+
     def _get_or_create(self, cls, name: str, labels: Dict, **kwargs):
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(name, labels, **kwargs)
-            self._instruments[key] = instrument
-        elif not isinstance(instrument, cls):
+            labels, routed = self._admit(name, labels)
+            if routed:
+                key = (name, _label_key(labels))
+                instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, labels, **kwargs)
+                self._instruments[key] = instrument
+        if not isinstance(instrument, cls):
             raise ValueError(
                 f"{name}{dict(labels)} already registered as "
                 f"{type(instrument).__name__}"
@@ -414,6 +459,11 @@ class MetricsRegistry:
     def gauge_fn(self, name: str, fn: Callable[[], float], **labels) -> Gauge:
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
+        if instrument is None:
+            labels, routed = self._admit(name, labels)
+            if routed:
+                key = (name, _label_key(labels))
+                instrument = self._instruments.get(key)
         if instrument is None:
             instrument = Gauge(name, labels, fn=fn)
             self._instruments[key] = instrument

@@ -1,0 +1,171 @@
+"""Static, self-contained HTML report for an observed run.
+
+``python -m repro dash <scenario> --html out.html`` (and the CI
+obs-smoke job) render one file with zero external assets: inline CSS,
+inline SVG sparklines, no JavaScript.  The report is **byte-
+deterministic** for a given ``(scenario, seed, quick)`` — every float
+is formatted with a fixed precision, every table is sorted, and no
+wall-clock time, object id, or environment detail ever reaches the
+output.  CI renders the report twice and diffs the bytes.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+from repro.obs.dash import collect_stats
+from repro.obs.scenarios import ObservedRun
+
+_CSS = """
+body { font-family: monospace; margin: 2em; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #bbb; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eee; } td.l, th.l { text-align: left; }
+.ok { color: #0a7a2f; } .fail { color: #b00020; font-weight: bold; }
+.verdict { font-size: 1.2em; margin: 0.8em 0; }
+svg { vertical-align: middle; }
+""".strip()
+
+
+def _svg_sparkline(
+    values: Sequence[float], width: int = 120, height: int = 18
+) -> str:
+    """An inline SVG polyline of ``values`` (empty series -> dash)."""
+    tail = [float(v) for v in values][-48:]
+    if not tail:
+        return "&mdash;"
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    n = len(tail)
+    points = []
+    for i, v in enumerate(tail):
+        x = 2 + (width - 4) * (i / max(1, n - 1))
+        frac = (v - lo) / span if span > 0 else 0.0
+        y = height - 2 - (height - 4) * frac
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline fill="none" stroke="#2d6cdf" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+def _table(headers: List[str], rows: List[List[str]],
+           left_cols: int = 1) -> List[str]:
+    out = ["<table><tr>"]
+    for i, head in enumerate(headers):
+        cls = ' class="l"' if i < left_cols else ""
+        out.append(f"<th{cls}>{html.escape(head)}</th>")
+    out.append("</tr>")
+    for row in rows:
+        out.append("<tr>")
+        for i, cell in enumerate(row):
+            cls = ' class="l"' if i < left_cols else ""
+            out.append(f"<td{cls}>{cell}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return out
+
+
+def render_html(run: ObservedRun, events_tail: int = 40) -> str:
+    """The full report as one HTML string (byte-deterministic)."""
+    stats = collect_stats(run)
+    title = (
+        f"repro observability report — {stats['scenario']} "
+        f"(seed {stats['seed']})"
+    )
+    verdict_ok = stats["passed"]
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="verdict {"ok" if verdict_ok else "fail"}">'
+        f'verdict: {"PASS" if verdict_ok else "FAIL"} '
+        f"&middot; alerts: {stats['alerts']} "
+        f"&middot; simulated end: {stats['now_us'] / 1e3:.3f} ms</p>",
+        "<p class='l'>detail: " + html.escape(
+            " ".join(f"{k}={run.detail[k]}" for k in sorted(run.detail))
+        ) + "</p>",
+    ]
+
+    parts.append("<h2>SLOs</h2>")
+    slo_rows = []
+    for slo in stats["slos"]:
+        mark = (
+            '<span class="ok">ok</span>' if slo["ok"]
+            else '<span class="fail">BREACH</span>'
+        )
+        slo_rows.append([
+            html.escape(slo["name"]),
+            mark,
+            f"{slo['value']:.3f}",
+            f"{slo['target']:.3f}",
+            _svg_sparkline(slo["history"]),
+        ])
+    parts.extend(_table(
+        ["slo", "state", "value", "target", "history"], slo_rows,
+    ))
+
+    if stats["latencies"]:
+        parts.append("<h2>Latency</h2>")
+        parts.extend(_table(
+            ["metric", "n", "p50 (us)", "p99 (us)"],
+            [
+                [html.escape(metric), str(row["count"]),
+                 f"{row['p50']:.1f}", f"{row['p99']:.1f}"]
+                for metric, row in sorted(stats["latencies"].items())
+            ],
+        ))
+
+    if stats["resources"]:
+        parts.append("<h2>Devices</h2>")
+        parts.extend(_table(
+            ["resource", "queue depth", "utilization"],
+            [
+                [html.escape(row["resource"]), f"{row['depth']:.0f}",
+                 f"{row['util']:.3f}"]
+                for row in stats["resources"]
+            ],
+        ))
+
+    summary_rows = [["compression_ratio",
+                     f"{stats['compression_ratio']:.3f}"]]
+    for group in ("migration", "chaos"):
+        for key in sorted(stats[group]):
+            summary_rows.append([f"{group}.{key}", str(stats[group][key])])
+    parts.append("<h2>Counters</h2>")
+    parts.extend(_table(["counter", "value"], summary_rows))
+
+    if stats["channels"]:
+        parts.append("<h2>Flight recorder</h2>")
+        parts.extend(_table(
+            ["channel", "emitted", "sampled out", "dropped"],
+            [
+                [html.escape(ch), str(row["emitted"]),
+                 str(row["sampled_out"]), str(row["dropped"])]
+                for ch, row in stats["channels"].items()
+            ],
+        ))
+        tail = run.recorder.events(limit=events_tail)
+        if tail:
+            parts.append(
+                f"<h2>Last {len(tail)} events</h2><pre>"
+                + html.escape("\n".join(ev.render() for ev in tail))
+                + "</pre>"
+            )
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_html(run: ObservedRun, path: str, events_tail: int = 40) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(run, events_tail=events_tail))
+    return path
+
+
+__all__ = ["render_html", "write_html"]

@@ -37,6 +37,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.obs import events as obs_events
+from repro.obs.slo import InvariantSLO, SLOEvaluator, ThresholdSLO
 from repro.perf.pool import default_workers
 from repro.perf.runtime import PerfRuntime, configure, deactivate
 
@@ -302,6 +304,15 @@ def run_harness(
             f"{serial.pages} page ops")
         runtime = PerfRuntime(**spec)
         configure(runtime)
+        # The fast leg runs with the flight recorder ACTIVE while the
+        # serial leg ran with it off.  The fingerprints must still match:
+        # that equality is the standing proof that observability is
+        # sim-time- and byte-neutral (recorder state never enters the
+        # metrics digest — its bookkeeping is plain attributes, not
+        # registry instruments).
+        recorder = obs_events.activate(
+            obs_events.FlightRecorder(capacity=16384)
+        )
         try:
             say(f"[{name}] fast path ({spec['pool_kind']} pool, "
                 f"{spec['pool_workers']} workers) ...")
@@ -309,6 +320,7 @@ def run_harness(
             stats = runtime.stats()
         finally:
             deactivate()
+            obs_events.deactivate()
         identical = fast.fingerprint == serial.fingerprint
         speedup = serial.wall_s / fast.wall_s if fast.wall_s > 0 else 0.0
         total_saved += stats.get("codec_calls_saved", 0)
@@ -329,6 +341,7 @@ def run_harness(
             "codec_calls_saved": stats.get("codec_calls_saved", 0),
             "memo": stats.get("memo"),
             "pool": stats.get("pool"),
+            "events_recorded": recorder.total_emitted,
             "detail": serial.detail,
         }
     scoreboard["codec_calls_saved_total"] = total_saved
@@ -353,30 +366,51 @@ def check_regression(
     The gate is on *speedup* (fast vs serial on the same host in the
     same process), which normalizes away absolute machine speed; raw
     pages/sec are reported for humans but not gated.
+
+    Every pass/fail decision is expressed as an SLO spec and routed
+    through :class:`repro.obs.slo.SLOEvaluator` — the same evaluator
+    that judges the chaos invariants and the live-scenario SLOs — so
+    there is exactly one verdict engine in the tree.
     """
-    failures: List[str] = []
+    evaluator = SLOEvaluator()
     base_scenarios = baseline.get("scenarios", {})
-    for name, fresh in scoreboard.get("scenarios", {}).items():
+    fresh_scenarios = scoreboard.get("scenarios", {})
+    for name, fresh in fresh_scenarios.items():
         if not fresh["identical"]:
-            failures.append(
-                f"{name}: fast-path output DIVERGED from serial reference"
-            )
+            evaluator.add(InvariantSLO(
+                f"perf.{name}.identical",
+                lambda name=name: [
+                    f"{name}: fast-path output DIVERGED "
+                    f"from serial reference"
+                ],
+                description="fast-path fingerprint equals serial",
+            ))
             continue
         base = base_scenarios.get(name)
         if base is None:
             continue  # new scenario: no baseline yet, nothing to gate
         floor = base["speedup"] * (1.0 - tolerance)
-        if fresh["speedup"] < floor:
-            failures.append(
-                f"{name}: speedup {fresh['speedup']:.2f}x regressed "
+        evaluator.add(ThresholdSLO(
+            f"perf.{name}.speedup",
+            lambda fresh=fresh: float(fresh["speedup"]),
+            floor=floor,
+            message=lambda v, name=name, floor=floor, base=base: (
+                f"{name}: speedup {v:.2f}x regressed "
                 f"below {floor:.2f}x "
                 f"(baseline {base['speedup']:.2f}x, "
                 f"tolerance {tolerance:.0%})"
-            )
-    for name in base_scenarios:
-        if name not in scoreboard.get("scenarios", {}):
-            failures.append(f"{name}: scenario missing from fresh run")
-    return failures
+            ),
+        ))
+    missing = [n for n in base_scenarios if n not in fresh_scenarios]
+    if missing:
+        evaluator.add(InvariantSLO(
+            "perf.coverage",
+            lambda missing=tuple(missing): [
+                f"{n}: scenario missing from fresh run" for n in missing
+            ],
+            description="every baseline scenario still runs",
+        ))
+    return evaluator.report(0.0).violations()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -42,6 +42,7 @@ from repro.common.errors import (
     ReproError,
 )
 from repro.engine import Engine, Event
+from repro.obs.events import recorder_active
 from repro.storage.redo import RedoRecord, encode_records
 
 
@@ -103,6 +104,14 @@ class GroupCommitPipeline:
                     done.fail(exc)
                 continue
             store._after_redo_commit(commit, records)
+            rec = recorder_active()
+            if rec is not None:
+                rec.emit(
+                    commit, "commit", "group_flush",
+                    commits=len(batch),
+                    records=len(records),
+                    oldest_wait_us=round(commit - batch[0][1], 3),
+                )
             tracer = store.metrics.tracer
             for _, arrive_us, done in batch:
                 # Retrospective span (simulated timestamps, emitted after

@@ -36,6 +36,7 @@ from repro.csd.specs import (
     OPTANE_P5800X,
     POLARCSD2,
 )
+from repro.obs.events import recorder_active
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.runtime import perf_active
 from repro.storage.index import CompressionInfo
@@ -286,8 +287,16 @@ class PolarStore:
         self.nodes[index] = rebuilt
         self._alive[index] = True
         self.metrics.counter("chaos.wal_replays", node=rebuilt.name).add(1)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(now, "fault", "wal_replay", node=rebuilt.name)
         done = self._resync_node(index, now)
         self.clock.advance_to(done)
+        if rec is not None:
+            rec.emit(
+                done, "fault", "node_rejoined",
+                node=rebuilt.name, resync_us=round(done - now, 3),
+            )
         return done
 
     def _resync_node(self, index: int, now_us: float) -> float:
@@ -370,6 +379,17 @@ class PolarStore:
 
         after_compress = start_us + prepared.cpu_us
         tracer.end(sp, after_compress)
+        rec = recorder_active()
+        if rec is not None and prepared.codec_evaluated:
+            # The selector has no clock; the codec decision is stamped
+            # here, where the compression phase's end time is known.
+            rec.emit(
+                after_compress, "codec", "selected",
+                page=page_no,
+                codec=prepared.algorithm or "none",
+                payload_bytes=len(prepared.payload),
+                cpu_us=round(prepared.cpu_us, 3),
+            )
         commit = self._replicate_page(
             after_compress, page_no, prepared, applied_lsn
         )
@@ -377,6 +397,14 @@ class PolarStore:
         self.page_write_commit_stats.append(commit - start_us)
         self._commit_rate.record(commit)
         self.clock.advance_to(commit)
+        if rec is not None:
+            rec.emit(
+                commit, "io", "page_write",
+                page=page_no,
+                blocks=prepared.n_blocks,
+                codec=prepared.algorithm or "none",
+                latency_us=round(commit - start_us, 3),
+            )
         return CommittedWrite(commit, prepared)
 
     @staticmethod
@@ -516,6 +544,14 @@ class PolarStore:
         self._after_redo_commit(commit, records)
         self.redo_commit_stats.append(commit - start_us)
         self._commit_rate.record(commit)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                commit, "io", "redo_commit",
+                records=len(records),
+                bytes=len(blob),
+                latency_us=round(commit - start_us, 3),
+            )
         return commit
 
     def _after_redo_commit(
@@ -638,13 +674,23 @@ class PolarStore:
             result = self.leader.read_page(start_us, page_no)
         except PageCorruptionError as err:
             return self._read_with_repair(start_us, page_no, 0, err)
+        hedged = False
         if (
             self.hedge_after_us > 0
             and len(self.nodes) > 1
             and result.done_us - start_us > self.hedge_after_us
         ):
             result = self._hedged_read(start_us, page_no, result)
+            hedged = True
         self.clock.advance_to(result.done_us)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                result.done_us, "io", "page_read",
+                page=page_no,
+                latency_us=round(result.done_us - start_us, 3),
+                hedged=hedged,
+            )
         return result
 
     def _hedged_read(
@@ -707,13 +753,24 @@ class PolarStore:
             except (DeviceUnavailableError, ReproError):
                 continue
         kinds = {i: self._attribute(err) for i, err in bad}
+        rec = recorder_active()
         for i, _ in bad:
             self.metrics.counter("chaos.detected", kind=kinds[i]).add(1)
+            if rec is not None:
+                rec.emit(
+                    start_us, "scrub", "detected",
+                    page=page_no, node=i, kind=kinds[i],
+                )
         if good is None:
             for i, _ in bad:
                 self.metrics.counter(
                     "chaos.unrepairable", kind=kinds[i]
                 ).add(1)
+                if rec is not None:
+                    rec.emit(
+                        start_us, "scrub", "unrepairable",
+                        page=page_no, node=i, kind=kinds[i],
+                    )
             raise first_err
         entry = self.nodes[good_index].index.get(page_no)
         applied = entry.applied_lsn if entry else 0
@@ -727,12 +784,23 @@ class PolarStore:
                     self.metrics.counter(
                         "chaos.unrepairable", kind=kinds[i]
                     ).add(1)
+                    if rec is not None:
+                        rec.emit(
+                            good.done_us, "scrub", "unrepairable",
+                            page=page_no, node=i, kind=kinds[i],
+                        )
                     continue
                 if self.chaos_plan is not None:
                     self.chaos_plan.ledger.clear_node(
                         err.node, err.lba, err.n_blocks
                     )
                 self.metrics.counter("chaos.repaired", kind=kinds[i]).add(1)
+                if rec is not None:
+                    rec.emit(
+                        good.done_us, "scrub", "repaired",
+                        page=page_no, node=i, kind=kinds[i],
+                        source=good_index,
+                    )
         return good
 
     def scrub(self, start_us: float) -> float:
@@ -744,6 +812,9 @@ class PolarStore:
         for i, node in enumerate(self.nodes):
             if self._alive[i]:
                 pages.update(p for p, _ in node.index.items())
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(now, "scrub", "sweep_start", pages=len(pages))
         self._warm_scrub_memo(sorted(pages))
         for page_no in sorted(pages):
             for i, node in enumerate(self.nodes):
@@ -768,6 +839,8 @@ class PolarStore:
                     now = result.done_us
                 except DeviceUnavailableError:
                     continue  # device down: scrub this copy next round
+        if rec is not None:
+            rec.emit(now, "scrub", "sweep_end", pages=len(pages))
         return now
 
     def _warm_scrub_memo(self, page_nos: Sequence[int]) -> None:

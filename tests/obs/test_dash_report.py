@@ -1,0 +1,120 @@
+"""Dashboard frames and the static HTML report."""
+
+import io
+
+from repro.obs.dash import collect_stats, render_frame, sparkline
+from repro.obs.events import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_html
+from repro.obs.scenarios import ObservedRun
+from repro.obs.slo import SLOEvaluator, ThresholdSLO
+
+
+def _synthetic_run() -> ObservedRun:
+    reg = MetricsRegistry()
+    reg.histogram("storage.page_write_us").extend([80.0, 90.0, 120.0])
+    reg.gauge("storage.logical_used_bytes").set(4096.0)
+    reg.gauge("storage.physical_used_bytes").set(1024.0)
+    reg.gauge_fn(
+        "engine.resource.queue_depth", lambda: 3.0, resource="nvme"
+    )
+    reg.gauge_fn(
+        "engine.resource.utilization", lambda: 0.5, resource="nvme"
+    )
+    reg.counter("cluster.migration.pages").inc(16)
+    reg.counter("chaos.injected", kind="bit_flip").inc(2)
+    evaluator = SLOEvaluator([reg])
+    evaluator.add(ThresholdSLO("demo.depth", lambda: 3.0, ceiling=10.0))
+    recorder = FlightRecorder()
+    recorder.emit(10.0, "io", "page_write", page=1)
+    run = ObservedRun(
+        name="demo", seed=3, quick=True,
+        recorder=recorder, evaluator=evaluator, registries=[reg],
+        now_us=1234.5, detail={"rows": 8},
+    )
+    evaluator.evaluate(1000.0)
+    evaluator.evaluate(1234.5)
+    return run
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(list(range(100)), width=24)) == 24
+
+
+def test_collect_stats_reads_every_panel():
+    stats = collect_stats(_synthetic_run())
+    assert stats["compression_ratio"] == 4.0
+    assert stats["resources"] == [
+        {"resource": "nvme", "depth": 3.0, "util": 0.5}
+    ]
+    assert stats["latencies"]["storage.page_write_us"]["count"] == 3
+    assert stats["migration"] == {"pages": 16}
+    assert stats["chaos"] == {"injected": 2}
+    assert stats["channels"]["io"]["emitted"] == 1
+    (slo,) = stats["slos"]
+    assert slo["name"] == "demo.depth" and slo["ok"]
+    assert slo["history"] == [3.0, 3.0]
+    assert stats["passed"]
+
+
+def test_collect_stats_is_read_only():
+    run = _synthetic_run()
+    before = len(run.registries[0])
+    collect_stats(run)
+    render_frame(run)
+    render_html(run)
+    assert len(run.registries[0]) == before
+
+
+def test_render_frame_contains_every_section():
+    frame = render_frame(_synthetic_run())
+    assert "repro dash · demo · seed 3" in frame
+    assert "nvme" in frame
+    assert "page_write_us" in frame
+    assert "compression ratio 4.00x" in frame
+    assert "migration pages=16" in frame
+    assert "chaos injected=2" in frame
+    assert "demo.depth" in frame
+    assert frame.endswith("verdict PASS · alerts 0")
+
+
+def test_render_frame_is_deterministic():
+    assert render_frame(_synthetic_run()) == render_frame(_synthetic_run())
+
+
+def test_html_report_is_self_contained_and_deterministic():
+    html_a = render_html(_synthetic_run())
+    html_b = render_html(_synthetic_run())
+    assert html_a == html_b
+    assert html_a.startswith("<!DOCTYPE html>")
+    assert "<script" not in html_a
+    assert 'src="http' not in html_a and "href=" not in html_a
+    assert "demo.depth" in html_a
+    assert "<svg" in html_a  # sparkline rendered inline
+    assert "verdict: PASS" in html_a
+
+
+def test_html_report_escapes_untrusted_strings():
+    run = _synthetic_run()
+    run.detail = {"note": "<script>alert(1)</script>"}
+    html_text = render_html(run)
+    assert "<script>alert(1)</script>" not in html_text
+    assert "&lt;script&gt;" in html_text
+
+
+def test_live_dash_end_to_end_on_sysbench():
+    """Integration: the sysbench scenario renders frames and a report,
+    double-rendering the report byte-identically."""
+    from repro.obs.dash import live_dash
+
+    buf = io.StringIO()
+    run = live_dash("sysbench", quick=True, ansi=False, stream=buf)
+    out = buf.getvalue()
+    assert run.passed
+    assert "repro dash · sysbench" in out
+    assert "verdict PASS" in out
+    assert render_html(run) == render_html(run)

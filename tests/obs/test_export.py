@@ -65,10 +65,66 @@ def test_prometheus_histogram_format():
 def test_prometheus_lines_are_well_formed():
     line_re = re.compile(
         r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+"
+        r"|# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+"
         r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.+eE\-infINF]+)$"
     )
     for line in to_prometheus(_sample_registry()).strip().splitlines():
         assert line_re.match(line), line
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter(
+        "io.errors", path='C:\\disk"0"', detail="line1\nline2"
+    ).inc(1)
+    text = to_prometheus(reg)
+    assert (
+        'io_errors{detail="line1\\nline2",path="C:\\\\disk\\"0\\""} 1'
+        in text
+    )
+    # The physical output stays one line per sample: the newline in the
+    # label value must never split the line.
+    assert all(
+        line.startswith(("#", "io_errors"))
+        for line in text.strip().splitlines()
+    )
+
+
+def test_prometheus_help_and_type_once_per_family():
+    reg = MetricsRegistry()
+    # Three labeled variants of one family, plus two dotted names that
+    # sanitize to the same Prometheus family name.
+    for node in ("node-0", "node-1", "node-2"):
+        reg.counter("storage.wal_flushes", node=node).inc(1)
+    reg.gauge("a.b_c").set(1.0)
+    reg.gauge("a_b.c").set(2.0)
+    lines = to_prometheus(reg).splitlines()
+    help_lines = [l for l in lines if l.startswith("# HELP ")]
+    type_lines = [l for l in lines if l.startswith("# TYPE ")]
+    families = [l.split()[2] for l in type_lines]
+    assert len(families) == len(set(families))
+    assert families.count("storage_wal_flushes") == 1
+    assert families.count("a_b_c") == 1
+    assert [l.split()[2] for l in help_lines] == families
+    # HELP precedes TYPE for each family.
+    for help_line, type_line in zip(help_lines, type_lines):
+        assert lines.index(help_line) == lines.index(type_line) - 1
+
+
+def test_prometheus_golden_output():
+    """Byte-for-byte golden of a tiny registry (format stability)."""
+    reg = MetricsRegistry()
+    reg.counter("storage.wal_flushes", node="node-0").inc(3)
+    reg.gauge("csd.ftl.live_bytes").set(4096.0)
+    expected = (
+        "# HELP csd_ftl_live_bytes repro instrument csd.ftl.live_bytes\n"
+        "# TYPE csd_ftl_live_bytes gauge\n"
+        "csd_ftl_live_bytes 4096\n"
+        "# HELP storage_wal_flushes repro instrument storage.wal_flushes\n"
+        "# TYPE storage_wal_flushes counter\n"
+        'storage_wal_flushes{node="node-0"} 3\n'
+    )
+    assert to_prometheus(reg) == expected
 
 
 # -- chaos counters flow through both exporters --------------------------------

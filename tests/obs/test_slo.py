@@ -1,0 +1,181 @@
+"""SLO specs and the one evaluator every verdict flows through."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.obs.events import FlightRecorder, recording
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BurnRateSLO,
+    ErrorBudgetSLO,
+    InvariantSLO,
+    LatencySLO,
+    SLOEvaluator,
+    SLOReport,
+    ThresholdSLO,
+)
+
+
+def _registry_with_latency(values, metric="storage.page_write_us"):
+    reg = MetricsRegistry()
+    reg.histogram(metric).extend(values)
+    return reg
+
+
+def test_latency_slo_passes_and_breaches():
+    reg = _registry_with_latency([100.0] * 90 + [5000.0] * 10)
+    ok = LatencySLO("w", "storage.page_write_us", 50, 200.0)
+    bad = LatencySLO("w", "storage.page_write_us", 99, 200.0)
+    assert ok.evaluate([reg], 0.0).ok
+    status = bad.evaluate([reg], 0.0)
+    assert not status.ok
+    assert "exceeds" in status.violations[0]
+
+
+def test_latency_slo_is_vacuous_below_min_count():
+    reg = _registry_with_latency([9999.0])
+    spec = LatencySLO("w", "storage.page_write_us", 99, 10.0, min_count=5)
+    status = spec.evaluate([reg], 0.0)
+    assert status.ok and status.detail == "no data"
+
+
+def test_latency_slo_merges_across_registries():
+    regs = [_registry_with_latency([100.0]), _registry_with_latency([300.0])]
+    spec = LatencySLO("w", "storage.page_write_us", 99, 200.0)
+    status = spec.evaluate(regs, 0.0)
+    assert not status.ok  # the second registry's tail breaches
+
+
+def test_error_budget_slo_ratio_and_absolute():
+    reg = MetricsRegistry()
+    reg.counter("bad").inc(2)
+    reg.counter("total").inc(100)
+    ratio = ErrorBudgetSLO("e", "bad", "total", budget=0.05)
+    assert ratio.evaluate([reg], 0.0).ok
+    tight = ErrorBudgetSLO("e", "bad", "total", budget=0.01)
+    assert not tight.evaluate([reg], 0.0).ok
+    # Without a total metric the count itself must fit the budget.
+    absolute = ErrorBudgetSLO(
+        "e", "bad", budget=0.0,
+        message=lambda bad, total: f"{int(bad)} bad things",
+    )
+    status = absolute.evaluate([reg], 0.0)
+    assert status.violations == ("2 bad things",)
+
+
+def test_burn_rate_slo_over_timeseries():
+    reg = MetricsRegistry()
+    series = reg.timeseries("commits", window_us=100.0)
+    for t in range(10):
+        for _ in range(8 if t < 5 else 30):
+            series.record(t * 100.0 + 1.0)
+    calm = BurnRateSLO("b", "commits", allowed_per_window=40.0, windows=5)
+    assert calm.evaluate([reg], 1000.0).ok
+    hot = BurnRateSLO("b", "commits", allowed_per_window=10.0, windows=5)
+    status = hot.evaluate([reg], 1000.0)
+    assert not status.ok
+    assert "burn rate" in status.violations[0]
+
+
+def test_threshold_slo_floor_ceiling_and_message():
+    floor = ThresholdSLO("t", lambda: 3.0, floor=5.0,
+                         message=lambda v: f"only {v:.0f}")
+    status = floor.evaluate([], 0.0)
+    assert status.violations == ("only 3",)
+    ceiling = ThresholdSLO("t", lambda: 3.0, ceiling=5.0)
+    assert ceiling.evaluate([], 0.0).ok
+    with pytest.raises(ValueError):
+        ThresholdSLO("t", lambda: 0.0)
+    with pytest.raises(ValueError):
+        ThresholdSLO("t", lambda: 0.0, floor=1.0, ceiling=2.0)
+
+
+def test_invariant_slo_preserves_strings_verbatim():
+    spec = InvariantSLO("i", lambda: ["I1: broken", "I5: also broken"])
+    status = spec.evaluate([], 7.0)
+    assert not status.ok
+    assert status.violations == ("I1: broken", "I5: also broken")
+    assert status.value == 2.0
+
+
+def test_report_flattens_in_spec_order():
+    ev = SLOEvaluator()
+    ev.add(InvariantSLO("a", lambda: ["first"]))
+    ev.add(ThresholdSLO("b", lambda: 0.0, floor=1.0,
+                        message=lambda v: "second"))
+    report = ev.report(0.0)
+    assert isinstance(report, SLOReport)
+    assert not report.passed
+    assert report.violations() == ["first", "second"]
+    assert "SLO verdict: FAIL" in report.render()
+
+
+def test_evaluator_emits_alert_and_recovery_events():
+    state = {"value": 10.0}
+    ev = SLOEvaluator()
+    ev.add(ThresholdSLO("x", lambda: state["value"], floor=5.0))
+    with recording(FlightRecorder()) as rec:
+        ev.evaluate(1.0)          # ok: no event
+        state["value"] = 1.0
+        ev.evaluate(2.0)          # ok -> breach: alert
+        ev.evaluate(3.0)          # still breached: no new event
+        state["value"] = 10.0
+        ev.evaluate(4.0)          # breach -> ok: recovered
+    kinds = [(e.t_us, e.kind) for e in rec.events(channel="slo")]
+    assert kinds == [(2.0, "alert"), (4.0, "recovered")]
+    assert ev.alerts == 1
+
+
+def test_evaluator_history_feeds_sparklines():
+    ev = SLOEvaluator(history=4)
+    ev.add(ThresholdSLO("x", lambda: float(ev.evaluations), floor=0.0))
+    for t in range(6):
+        ev.evaluate(float(t))
+    assert ev.sparkline_values("x") == [3.0, 4.0, 5.0, 6.0]
+
+
+def test_evaluator_daemon_ticks_on_sim_time():
+    engine = Engine()
+    ev = SLOEvaluator()
+    ev.add(ThresholdSLO("x", lambda: 1.0, floor=0.0))
+    daemon = ev.spawn_daemon(engine, interval_us=10.0)
+
+    def workload():
+        yield engine.timeout(55.0)
+
+    engine.run_until_complete([engine.spawn(workload(), name="w")])
+    daemon.cancel()
+    assert ev.evaluations == 5
+
+
+def test_chaos_verdict_flows_through_the_evaluator():
+    from repro.chaos.harness import run_chaos
+
+    evaluator = SLOEvaluator()
+    report = run_chaos(
+        seed=42, ops=80, pages=32, scrub_every=40, min_data_faults=2,
+        evaluator=evaluator,
+    )
+    assert report.slo is not None
+    assert report.passed == report.slo.passed
+    assert report.violations == report.slo.violations()
+    names = {s.name for s in report.slo.statuses}
+    assert {
+        "chaos.workload_invariants", "chaos.repair_accounting",
+        "chaos.repairability", "chaos.rejoin", "chaos.fault_floor",
+        "chaos.wal_replayed", "chaos.quorum_drill",
+    } <= names
+
+
+def test_chaos_i6_floor_breaches_with_exact_message():
+    from repro.chaos.harness import run_chaos
+
+    report = run_chaos(
+        seed=42, ops=80, pages=32, scrub_every=40,
+        min_data_faults=10**6,
+    )
+    assert not report.passed
+    assert any(
+        v.startswith("I6: only") and "schedule requires" in v
+        for v in report.violations
+    )

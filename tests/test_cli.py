@@ -132,3 +132,69 @@ def test_cluster_scenario_writes_artifacts(tmp_path, capsys):
 def test_cluster_rejects_bad_shapes(capsys):
     assert main(["cluster", "--shards", "1"]) == 2
     assert main(["cluster", "--shards", "4", "--chunks", "2"]) == 2
+
+
+# -- observability commands -------------------------------------------------
+
+
+def test_events_runs_scenario_and_dumps(tmp_path, capsys):
+    out_path = tmp_path / "events.jsonl"
+    assert main([
+        "events", "sysbench", "--seed", "7", "--out", str(out_path),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "# scenario sysbench seed 7:" in captured.err
+    assert "verdict PASS" in captured.err
+    assert f"# wrote {out_path}" in captured.err
+    assert "# channels:" in captured.err
+    # Rendered event lines on stdout, one per recorded event.
+    lines = captured.out.strip().splitlines()
+    assert lines and all("[" in line for line in lines)
+    assert out_path.exists()
+
+
+def test_events_load_and_filter_roundtrip(tmp_path, capsys):
+    out_path = tmp_path / "events.jsonl"
+    assert main([
+        "events", "sysbench", "--seed", "7", "--out", str(out_path),
+    ]) == 0
+    first = capsys.readouterr().out
+    assert main([
+        "events", "--load", str(out_path),
+    ]) == 0
+    replayed = capsys.readouterr().out
+    assert replayed == first
+    # Channel filtering narrows the replay to a strict subset.
+    assert main([
+        "events", "--load", str(out_path), "--channel", "slo", "--limit", "5",
+    ]) == 0
+    filtered = capsys.readouterr().out.strip().splitlines()
+    assert len(filtered) <= 5
+    assert all(" slo/" in line for line in filtered)
+
+
+def test_events_requires_scenario_or_load(capsys):
+    assert main(["events"]) == 2
+    assert "required" in capsys.readouterr().err
+
+
+def test_dash_renders_frames_without_ansi(capsys):
+    assert main([
+        "dash", "chaos", "--seed", "42", "--no-ansi",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "repro dash · chaos · seed 42" in out
+    assert "verdict PASS" in out
+    assert "\x1b[" not in out
+
+
+def test_dash_writes_html_report(tmp_path, capsys):
+    html_path = tmp_path / "report.html"
+    assert main([
+        "dash", "sysbench", "--no-ansi", "--html", str(html_path),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert f"wrote {html_path}" in captured.err
+    text = html_path.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "sysbench" in text and "verdict: PASS" in text
