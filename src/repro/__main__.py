@@ -18,6 +18,14 @@ Commands
     misdirected writes, slow I/O, device failure, replica crash +
     rejoin, quorum loss) against a replicated volume and assert the
     durability invariants.  Exit 0 iff every invariant held.
+``raft``
+    Run the consensus scenario: real Raft elections on a replicated
+    volume under symmetric and asymmetric partitions, clock skew, and
+    leader crashes (including one with an AppendEntries in flight),
+    asserting the split-brain invariants — one leader per term, no
+    committed write lost, monotonic terms, fenced leaders commit
+    nothing — plus a quorum redo-durability oracle.  Exit 0 iff every
+    invariant held.  Artifacts are byte-deterministic (``--out``).
 ``bench``
     Run a trimmed, deterministic profile of a thread-scaling figure
     (Fig 12 cluster sweep or Fig 15 per-page log) on the event-driven
@@ -231,6 +239,25 @@ def cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_raft(args) -> int:
+    from repro.consensus.scenario import run_raft
+
+    report = run_raft(
+        seed=args.seed,
+        quick=not args.full,
+        verbose=args.verbose,
+    )
+    print(report.render())
+    if args.out is not None:
+        path = report.write_artifact(args.out)
+        print(f"artifact: {path}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs.export import to_json
+
+        print(to_json(report.metrics))
+    return 0 if report.passed else 1
+
+
 def cmd_bench(args) -> int:
     from repro.bench.figures import FIGURES
 
@@ -386,6 +413,31 @@ def main(argv=None) -> int:
         "--metrics", action="store_true",
         help="also dump the final metric snapshot as JSON",
     )
+    raft_p = sub.add_parser(
+        "raft",
+        help="run the consensus scenario (elections, partitions, leader "
+             "crashes) and assert the split-brain invariants",
+    )
+    raft_p.add_argument(
+        "--seed", type=int, default=11,
+        help="schedule seed (default: 11)",
+    )
+    raft_p.add_argument(
+        "--full", action="store_true",
+        help="full-size workload (default: quick smoke profile)",
+    )
+    raft_p.add_argument(
+        "--verbose", action="store_true",
+        help="narrate elections, partitions, and crashes as they happen",
+    )
+    raft_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write the byte-deterministic raft_scenario.json here",
+    )
+    raft_p.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the final metric snapshot as JSON",
+    )
     bench_p = sub.add_parser(
         "bench",
         help="run a deterministic thread-scaling figure profile",
@@ -436,7 +488,8 @@ def main(argv=None) -> int:
              "recorder event log (or --load a previous dump)",
     )
     events_p.add_argument(
-        "scenario", nargs="?", choices=("sysbench", "chaos", "cluster"),
+        "scenario", nargs="?",
+        choices=("sysbench", "chaos", "cluster", "raft"),
         help="which observed scenario to run (omit with --load)",
     )
     events_p.add_argument(
@@ -493,7 +546,7 @@ def main(argv=None) -> int:
         help="run an observed scenario with a live terminal dashboard",
     )
     dash_p.add_argument(
-        "scenario", choices=("sysbench", "chaos", "cluster"),
+        "scenario", choices=("sysbench", "chaos", "cluster", "raft"),
         help="which observed scenario to run",
     )
     dash_p.add_argument(
@@ -526,6 +579,7 @@ def main(argv=None) -> int:
         "experiments": cmd_experiments,
         "metrics": cmd_metrics,
         "chaos": cmd_chaos,
+        "raft": cmd_raft,
         "bench": cmd_bench,
         "cluster": cmd_cluster,
         "events": cmd_events,

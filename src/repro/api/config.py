@@ -120,6 +120,13 @@ class ClusterSection:
     #: Physical capacity of each shard as a fraction of its logical
     #: capacity (drives the logical-vs-physical stranding of Fig 10/11).
     physical_fraction: float = 0.5
+    #: Drive chunk placement and migration cutover through a replicated
+    #: Raft metadata log (``repro.consensus``) instead of direct
+    #: in-memory mutation.  Off by default: placement decisions then
+    #: commit at quorum before any chunk is created or flipped.
+    consensus: bool = False
+    #: Replica count of the metadata Raft group when ``consensus`` is on.
+    consensus_nodes: int = 3
 
 
 @dataclass
@@ -176,6 +183,12 @@ class ReproConfig:
             raise ValueError("cluster.chunk_keys must be at least 1")
         if not 0.0 < self.cluster.usage_limit <= 1.0:
             raise ValueError("cluster.usage_limit must be in (0, 1]")
+        if self.cluster.consensus_nodes < 1:
+            raise ValueError("cluster.consensus_nodes must be at least 1")
+        if self.cluster.consensus and self.cluster.consensus_nodes % 2 == 0:
+            raise ValueError(
+                "cluster.consensus_nodes must be odd (majority quorum)"
+            )
         if self.engine.group_commit_window_us < 0:
             raise ValueError("engine.group_commit_window_us cannot be negative")
         if self.perf.pool_kind not in ("process", "thread", "serial"):

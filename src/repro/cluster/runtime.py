@@ -232,6 +232,25 @@ class ClusterRuntime:
         self.chunks: Dict[int, RuntimeChunk] = {}
         self._next_chunk_id = 0
         self._next_page_no = 0
+        #: Replicated metadata log (``cluster.consensus = true``): chunk
+        #: placement and migration cutover commit through an elected
+        #: Raft group before they take effect, so the routing table is
+        #: a deterministic function of the committed log, not of which
+        #: coordinator happened to act first.
+        self.meta_group = None
+        #: Applied metadata commands, in committed-log order.
+        self.meta_log: List[tuple] = []
+        if cluster_cfg.consensus:
+            from repro.consensus import RaftGroup
+
+            self.meta_group = RaftGroup(
+                self.engine,
+                n_nodes=cluster_cfg.consensus_nodes,
+                seed=store_cfg.seed,
+                metrics=self.metrics,
+                apply_fn=self._apply_meta,
+                name="cluster-meta",
+            ).start()
         #: Migration stream tokens: at most ``migration_streams`` chunk
         #: moves are in flight; further tasks queue FIFO.
         self._streams = Queue(self.engine, "migration-streams")
@@ -273,18 +292,72 @@ class ClusterRuntime:
         if chunk is None:
             if not create:
                 raise ReproError(f"key {key} not found in {table!r}")
-            chunk = RuntimeChunk(
-                self._next_chunk_id,
-                table,
-                index * self.chunk_keys,
-                (index + 1) * self.chunk_keys,
-                self._place_new_chunk().shard_id,
+            if self.meta_group is not None:
+                # Placement must commit through the metadata log first
+                # (the write path proposes before routing here).
+                raise ReproError(
+                    f"chunk for key {key} in {table!r} not yet placed "
+                    "by the metadata log"
+                )
+            chunk = self._create_chunk(
+                table, index, self._place_new_chunk().shard_id
             )
-            self._next_chunk_id += 1
-            chunks[index] = chunk
-            self.chunks[chunk.chunk_id] = chunk
-            self.shards[chunk.shard_id].chunks[chunk.chunk_id] = chunk
         return chunk
+
+    def _create_chunk(
+        self, table: str, index: int, shard_id: int
+    ) -> RuntimeChunk:
+        """Materialize one chunk at a decided placement (the single
+        mutation point shared by direct routing and the metadata log)."""
+        chunk = RuntimeChunk(
+            self._next_chunk_id,
+            table,
+            index * self.chunk_keys,
+            (index + 1) * self.chunk_keys,
+            shard_id,
+        )
+        self._next_chunk_id += 1
+        self.tables[table][index] = chunk
+        self.chunks[chunk.chunk_id] = chunk
+        self.shards[shard_id].chunks[chunk.chunk_id] = chunk
+        return chunk
+
+    def _apply_meta(self, entry) -> None:
+        """Apply one committed metadata-log entry.
+
+        Idempotent by construction: two racing coordinators may both
+        propose placement of the same chunk; the first committed entry
+        wins and the duplicate applies as a no-op — exactly the Raft
+        state-machine discipline.
+        """
+        command = entry.command
+        if not isinstance(command, tuple) or not command:
+            return
+        op = command[0]
+        if op == "place":
+            _, table, index, shard_id = command
+            chunks = self.tables.get(table)
+            if chunks is None or index in chunks:
+                return  # table dropped, or a duplicate proposal lost
+            self.meta_log.append(command)
+            self._create_chunk(table, index, shard_id)
+        elif op == "cutover":
+            self.meta_log.append(command)
+
+    def _ensure_chunk_proc(self, table: str, key: int):
+        """Engine process: make sure ``key``'s chunk exists, committing
+        the placement decision through the metadata log."""
+        if table not in self.tables:
+            raise ReproError(f"no such table {table!r}")
+        index = self._chunk_index(key)
+        while self.tables[table].get(index) is None:
+            shard = self._place_new_chunk()
+            yield from self.meta_group.propose_proc(
+                ("place", table, index, shard.shard_id)
+            )
+            # The committed entry (ours or a racing coordinator's)
+            # created the chunk via _apply_meta; loop re-checks.
+        return self.tables[table][index]
 
     def _place_new_chunk(self) -> ShardServer:
         """Logical-only placement (the original §4.2.1 strategy): the
@@ -373,6 +446,8 @@ class ClusterRuntime:
 
     def _write_proc(self, table: str, key: int, value: bytes, create: bool):
         engine = self.engine
+        if create and self.meta_group is not None:
+            yield from self._ensure_chunk_proc(table, key)
         while True:
             chunk = self._chunk_for(table, key, create=create)
             if chunk.state is not ChunkState.CUTOVER:
@@ -522,6 +597,14 @@ class ClusterRuntime:
             yield from self._copy_keys(
                 chunk, source, target, final, catchup=True
             )
+            if self.meta_group is not None:
+                # The ownership flip is a metadata transition: it must
+                # commit on the replicated log before any router acts on
+                # it, so a coordinator crash at this exact moment cannot
+                # leave the two shards disagreeing about the owner.
+                yield from self.meta_group.propose_proc(
+                    ("cutover", chunk.chunk_id, target_id)
+                )
             # Flip ownership, then free every source copy.
             del source.chunks[chunk.chunk_id]
             target.chunks[chunk.chunk_id] = chunk

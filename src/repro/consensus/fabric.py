@@ -1,0 +1,96 @@
+"""Message transport between Raft nodes on one event kernel.
+
+Consensus RPCs ride the same :class:`~repro.storage.raft.NetworkModel`
+the data plane uses: a message takes one ``rpc_us(size)`` one-way hop,
+sized from its wire estimate, and is delivered by a scheduled engine
+callback.  Handlers run synchronously at delivery time (they mutate node
+state and send replies back through the fabric), so message ordering is
+exactly the engine's deterministic ``(time_us, seq)`` heap order.
+
+A :class:`~repro.chaos.net.NetFaultPlan` (when armed) judges every send:
+partitioned or dropped messages vanish, delayed ones arrive late,
+duplicated ones arrive twice.  Deliveries to crashed nodes are discarded
+at arrival time — a message in flight when its target dies is lost, like
+a real socket buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.storage.raft import NetworkModel
+
+#: Fixed wire overhead per RPC (headers, term, ids).
+_BASE_BYTES = 64
+#: Estimated wire bytes per replicated log entry beyond its command.
+_ENTRY_BYTES = 48
+
+
+def message_bytes(msg) -> int:
+    """Deterministic wire-size estimate for one consensus message."""
+    entries = getattr(msg, "entries", ())
+    size = _BASE_BYTES
+    for entry in entries:
+        size += _ENTRY_BYTES + len(repr(entry.command))
+    return size
+
+
+class ConsensusFabric:
+    """Delivers consensus messages with latency, faults, and crash loss."""
+
+    def __init__(
+        self,
+        engine,
+        network: Optional[NetworkModel] = None,
+        plan=None,
+        metrics=None,
+    ) -> None:
+        self.engine = engine
+        self.network = network if network is not None else NetworkModel()
+        #: The chaos network-fault plan (None = a perfect network).
+        self.plan = plan
+        self._nodes: Dict[int, object] = {}
+        if metrics is not None:
+            self._sent = metrics.counter("consensus.net.sent")
+            self._lost = metrics.counter("consensus.net.lost")
+        else:
+            self._sent = None
+            self._lost = None
+
+    def register(self, node) -> None:
+        self._nodes[node.node_id] = node
+
+    def send(self, src: int, dst: int, msg) -> None:
+        """Ship one message ``src -> dst`` (fire and forget)."""
+        if dst not in self._nodes:
+            return
+        engine = self.engine
+        now = engine.now_us
+        copies = 1
+        extra = 0.0
+        if self.plan is not None:
+            verdict = self.plan.judge(src, dst, now)
+            if verdict.blocked or verdict.dropped:
+                if self._lost is not None:
+                    self._lost.inc()
+                return
+            extra = verdict.extra_delay_us
+            copies = 1 + verdict.duplicates
+        if self._sent is not None:
+            self._sent.inc()
+        hop = self.network.rpc_us(message_bytes(msg))
+        for copy in range(copies):
+            # A duplicate trails its original by one microsecond so the
+            # two deliveries stay distinct heap events in a fixed order.
+            engine.schedule(
+                now + hop + extra + float(copy), self._deliver, dst, msg
+            )
+
+    def _deliver(self, dst: int, msg) -> None:
+        node = self._nodes.get(dst)
+        if node is None or not node.alive:
+            return  # crashed mid-flight: the message is simply lost
+        node.on_message(msg)
+
+
+__all__ = ["ConsensusFabric", "message_bytes"]

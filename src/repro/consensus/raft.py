@@ -1,0 +1,609 @@
+"""The Raft node state machine on the deterministic event kernel.
+
+One :class:`RaftNode` is one engine-resident consensus participant:
+
+* a *ticker* process owns the randomized election timer.  There are no
+  cancellable timers in the kernel, so the ticker sleeps until the
+  current deadline and re-checks on wake — every heartbeat pushes the
+  deadline forward, and an expired deadline on a non-leader starts an
+  election.  Timeout draws come from the node's seeded RNG, scaled by
+  its ``clock_skew`` (a chaos knob: a fast clock makes a disruptive
+  candidate, a slow one a sluggish failover);
+* message handlers are synchronous (delivered by the fabric at arrival
+  time): RequestVote with the election restriction, AppendEntries with
+  the prev-index/term consistency check and conflict hints for
+  nextIndex backoff, and the matching replies;
+* **fencing** is the term rule made explicit: any message carrying a
+  higher term steps a leader down *before* the payload is considered,
+  and the step-down fails every in-flight commit waiter with
+  :class:`~repro.common.errors.RaftError` — a deposed leader can
+  acknowledge nothing it cannot prove committed;
+* commit advance obeys the Leader Completeness restriction (a leader
+  only counts replication of entries from its own term; earlier-term
+  entries commit transitively);
+* a crash keeps the persistent triple ``(current_term, voted_for,
+  log)`` and discards everything volatile; a restart rejoins as
+  FOLLOWER at the observed term, marked *repairing* until an
+  AppendEntries round has proven its log prefix matches the leader's
+  commit point (log repair before serving).
+
+Everything observable emits on the flight recorder's ``election``
+channel behind the zero-cost ``recorder_active()`` guard.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import RaftError
+from repro.obs.events import recorder_active
+
+
+class RaftState(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated command at one (term, index) slot."""
+
+    term: int
+    index: int
+    command: Any
+
+
+# -- wire messages ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate: int
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    voter: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader: int
+    prev_index: int
+    prev_term: int
+    entries: Tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    term: int
+    follower: int
+    success: bool
+    match_index: int
+    #: Where the leader should rewind nextIndex to on failure (the
+    #: first index of the conflicting term, or just past the follower's
+    #: log end) — the backoff skips whole conflicting terms per round.
+    conflict_hint: int
+
+
+@dataclass(frozen=True)
+class ElectionTiming:
+    """The timing model of elections on the engine (microseconds).
+
+    Election timeouts sit two orders of magnitude above the ~36us
+    network round trip, mirroring the real-world 10x-of-RTT guidance,
+    and the heartbeat interval stays well under the minimum timeout
+    even at the largest clock skew the chaos plane injects.
+    """
+
+    min_timeout_us: float = 8_000.0
+    max_timeout_us: float = 16_000.0
+    heartbeat_us: float = 2_000.0
+    #: Entries shipped per AppendEntries during log repair catch-up.
+    max_batch: int = 16
+
+
+class RaftNode:
+    """One consensus participant (see module docstring)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        group,
+        engine,
+        rng,
+        timing: Optional[ElectionTiming] = None,
+        clock_skew: float = 1.0,
+    ) -> None:
+        self.node_id = node_id
+        self.name = f"raft-{node_id}"
+        self.group = group
+        self.engine = engine
+        self.rng = rng
+        self.timing = timing if timing is not None else ElectionTiming()
+        self.clock_skew = float(clock_skew)
+        # Persistent state: survives crashes (device-backed in a real
+        # system; the persist latency is folded into the RPC constants).
+        self.current_term = 0
+        self.voted_for: Optional[int] = None
+        self.log: List[LogEntry] = []
+        # Volatile state: reset by a crash.
+        self.alive = True
+        self.state = RaftState.FOLLOWER
+        self.commit_index = 0
+        self.leader_hint: Optional[int] = None
+        #: A restarted node repairs its log before it counts as serving.
+        self.repairing = False
+        self.next_index: Dict[int, int] = {}
+        self.match_index: Dict[int, int] = {}
+        self._votes: set = set()
+        self._election_deadline = 0.0
+        #: Commit waiters: index -> [(expected term, event)].
+        self._waiters: Dict[int, List[Tuple[int, object]]] = {}
+        #: Generation guards for the daemons (no cancellable timers: a
+        #: stale ticker/heartbeat sees the bumped epoch and exits).
+        self._life_epoch = 0
+        self._lead_epoch = 0
+        self._ticker_proc = None
+        self._hb_proc = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def peers(self) -> List[int]:
+        return [i for i in self.group.node_ids if i != self.node_id]
+
+    @property
+    def majority(self) -> int:
+        return len(self.group.node_ids) // 2 + 1
+
+    def last_log_index(self) -> int:
+        return len(self.log)
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+    def start(self) -> None:
+        """Arm the election ticker (called once per (re)boot)."""
+        self._reset_election_deadline()
+        self._ticker_proc = self.engine.spawn(
+            self._ticker(self._life_epoch), name=f"{self.name}-ticker"
+        )
+
+    def crash(self) -> None:
+        """Power loss: volatile state gone, persistent state kept."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._life_epoch += 1
+        self._lead_epoch += 1
+        if self._ticker_proc is not None and not self._ticker_proc.done:
+            self._ticker_proc.cancel()
+        if self._hb_proc is not None and not self._hb_proc.done:
+            self._hb_proc.cancel()
+        self._fail_waiters("leader crashed before commit")
+        self.group._on_crash(self)
+
+    def restart(self) -> None:
+        """Rejoin as FOLLOWER at the observed (persisted) term.
+
+        The pre-crash role is irrelevant: even a node that crashed as
+        leader comes back as a follower and stays ``repairing`` until
+        the current leader's AppendEntries prove its log prefix reaches
+        the leader's commit point — log repair before serving.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.state = RaftState.FOLLOWER
+        self.commit_index = 0
+        self.leader_hint = None
+        self.repairing = True
+        self.next_index = {}
+        self.match_index = {}
+        self._votes = set()
+        self._waiters = {}
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                self.engine.now_us, "election", "rejoin",
+                node=self.node_id, term=self.current_term,
+            )
+        self.start()
+
+    # -- election timer ----------------------------------------------------
+
+    def _reset_election_deadline(self) -> None:
+        timeout = self.rng.uniform(
+            self.timing.min_timeout_us, self.timing.max_timeout_us
+        ) * self.clock_skew
+        self._election_deadline = self.engine.now_us + timeout
+
+    def _ticker(self, epoch: int):
+        engine = self.engine
+        while self.alive and epoch == self._life_epoch:
+            if self.state is RaftState.LEADER:
+                # Leaders keep no election timer; park one max-timeout
+                # out and re-check (a step-down re-arms the real timer).
+                self._election_deadline = (
+                    engine.now_us
+                    + self.timing.max_timeout_us * self.clock_skew
+                )
+            if engine.now_us >= self._election_deadline:
+                if self.state is not RaftState.LEADER:
+                    self._start_election()
+                else:
+                    continue
+            yield engine.sleep_until(self._election_deadline)
+
+    # -- elections ---------------------------------------------------------
+
+    def _start_election(self) -> None:
+        self.current_term += 1
+        self.state = RaftState.CANDIDATE
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self.leader_hint = None
+        self._reset_election_deadline()
+        self.group._on_term(self, self.current_term)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                self.engine.now_us, "election", "vote_request",
+                node=self.node_id, term=self.current_term,
+                last_index=self.last_log_index(),
+            )
+        msg = RequestVote(
+            self.current_term,
+            self.node_id,
+            self.last_log_index(),
+            self.last_log_term(),
+        )
+        for peer in self.peers:
+            self.group.fabric.send(self.node_id, peer, msg)
+        if len(self._votes) >= self.majority:  # single-node group
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.state = RaftState.LEADER
+        self.leader_hint = self.node_id
+        self.repairing = False
+        self._lead_epoch += 1
+        last = self.last_log_index()
+        self.next_index = {p: last + 1 for p in self.peers}
+        self.match_index = {p: 0 for p in self.peers}
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                self.engine.now_us, "election", "leader_elected",
+                node=self.node_id, term=self.current_term, last_index=last,
+            )
+        self.group._on_leader(self, self.current_term)
+        # The no-op entry: commits everything from earlier terms that is
+        # already majority-replicated (a leader may not count earlier-term
+        # replication directly).
+        self.log.append(
+            LogEntry(self.current_term, last + 1, ("noop", self.current_term))
+        )
+        self._advance_leader_commit()
+        self._broadcast_append()
+        self._hb_proc = self.engine.spawn(
+            self._heartbeat(self._lead_epoch), name=f"{self.name}-heartbeat"
+        )
+
+    def _heartbeat(self, epoch: int):
+        engine = self.engine
+        while (
+            self.alive
+            and epoch == self._lead_epoch
+            and self.state is RaftState.LEADER
+        ):
+            yield engine.timeout(self.timing.heartbeat_us * self.clock_skew)
+            if not (
+                self.alive
+                and epoch == self._lead_epoch
+                and self.state is RaftState.LEADER
+            ):
+                return
+            self._broadcast_append()
+
+    # -- the term rule (fencing) -------------------------------------------
+
+    def _observe_term(self, term: int, origin: str) -> None:
+        """A higher term was seen: adopt it and step down if leading."""
+        was_leader = self.state is RaftState.LEADER
+        old_term = self.current_term
+        self.current_term = term
+        self.voted_for = None
+        self.state = RaftState.FOLLOWER
+        self._lead_epoch += 1
+        self._votes = set()
+        self._reset_election_deadline()
+        self.group._on_term(self, term)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                self.engine.now_us, "election", "term_bump",
+                node=self.node_id, term=term, origin=origin,
+            )
+        if was_leader:
+            self.group.tracker.record_fence(self.node_id, old_term, term)
+            if rec is not None:
+                rec.emit(
+                    self.engine.now_us, "election", "fence",
+                    node=self.node_id, deposed_term=old_term, term=term,
+                )
+            self._fail_waiters(
+                f"fenced: deposed at term {old_term} by term {term}"
+            )
+            self.group._on_fence(self, old_term)
+
+    # -- message handlers --------------------------------------------------
+
+    def on_message(self, msg) -> None:
+        if not self.alive:
+            return
+        if msg.term > self.current_term:
+            self._observe_term(msg.term, origin=type(msg).__name__)
+        if isinstance(msg, RequestVote):
+            self._on_request_vote(msg)
+        elif isinstance(msg, VoteReply):
+            self._on_vote_reply(msg)
+        elif isinstance(msg, AppendEntries):
+            self._on_append_entries(msg)
+        elif isinstance(msg, AppendReply):
+            self._on_append_reply(msg)
+
+    def _on_request_vote(self, msg: RequestVote) -> None:
+        up_to_date = (
+            msg.last_log_term > self.last_log_term()
+            or (
+                msg.last_log_term == self.last_log_term()
+                and msg.last_log_index >= self.last_log_index()
+            )
+        )
+        granted = (
+            msg.term == self.current_term
+            and self.voted_for in (None, msg.candidate)
+            and up_to_date
+        )
+        if granted:
+            self.voted_for = msg.candidate
+            self._reset_election_deadline()
+            rec = recorder_active()
+            if rec is not None:
+                rec.emit(
+                    self.engine.now_us, "election", "vote_grant",
+                    voter=self.node_id, candidate=msg.candidate,
+                    term=msg.term,
+                )
+        self.group.fabric.send(
+            self.node_id, msg.candidate,
+            VoteReply(self.current_term, self.node_id, granted),
+        )
+
+    def _on_vote_reply(self, msg: VoteReply) -> None:
+        if (
+            self.state is not RaftState.CANDIDATE
+            or msg.term != self.current_term
+            or not msg.granted
+        ):
+            return
+        self._votes.add(msg.voter)
+        if len(self._votes) >= self.majority:
+            self._become_leader()
+
+    def _on_append_entries(self, msg: AppendEntries) -> None:
+        reply_to = msg.leader
+        if msg.term < self.current_term:
+            self.group.fabric.send(
+                self.node_id, reply_to,
+                AppendReply(self.current_term, self.node_id, False, 0, 1),
+            )
+            return
+        # Equal term: a live leader exists — a candidate stands down.
+        if self.state is not RaftState.FOLLOWER:
+            self.state = RaftState.FOLLOWER
+            self._lead_epoch += 1
+        self.leader_hint = msg.leader
+        self._reset_election_deadline()
+        # Log consistency check (the nextIndex backoff counterpart).
+        if msg.prev_index > len(self.log):
+            self.group.fabric.send(
+                self.node_id, reply_to,
+                AppendReply(
+                    self.current_term, self.node_id, False, 0,
+                    len(self.log) + 1,
+                ),
+            )
+            return
+        if (
+            msg.prev_index > 0
+            and self.log[msg.prev_index - 1].term != msg.prev_term
+        ):
+            # Rewind past the whole conflicting term in one hop.
+            bad_term = self.log[msg.prev_index - 1].term
+            hint = msg.prev_index
+            while hint > 1 and self.log[hint - 2].term == bad_term:
+                hint -= 1
+            self.group.fabric.send(
+                self.node_id, reply_to,
+                AppendReply(
+                    self.current_term, self.node_id, False, 0, hint
+                ),
+            )
+            return
+        # Append: truncate a conflicting suffix, keep matching entries.
+        index = msg.prev_index
+        for entry in msg.entries:
+            index += 1
+            if len(self.log) >= index:
+                if self.log[index - 1].term == entry.term:
+                    continue
+                del self.log[index - 1:]
+            self.log.append(entry)
+        match = msg.prev_index + len(msg.entries)
+        if msg.leader_commit > self.commit_index:
+            self._set_commit_index(min(msg.leader_commit, len(self.log)))
+        if self.repairing and match >= msg.leader_commit:
+            # Log repair complete: the prefix up to the leader's commit
+            # point is verified present; the node serves again.
+            self.repairing = False
+            rec = recorder_active()
+            if rec is not None:
+                rec.emit(
+                    self.engine.now_us, "election", "repaired",
+                    node=self.node_id, term=self.current_term,
+                    match=match,
+                )
+        self.group.fabric.send(
+            self.node_id, reply_to,
+            AppendReply(self.current_term, self.node_id, True, match, 0),
+        )
+
+    def _on_append_reply(self, msg: AppendReply) -> None:
+        if self.state is not RaftState.LEADER or msg.term != self.current_term:
+            return
+        follower = msg.follower
+        if msg.success:
+            if msg.match_index > self.match_index.get(follower, 0):
+                self.match_index[follower] = msg.match_index
+                self.next_index[follower] = msg.match_index + 1
+                self._advance_leader_commit()
+            return
+        # Consistency check failed: back nextIndex off (conflict hint
+        # skips whole terms) and retry immediately.
+        self.group.metrics_counter("consensus.append_rejects").inc()
+        current = self.next_index.get(follower, self.last_log_index() + 1)
+        self.next_index[follower] = max(
+            1, min(current - 1, msg.conflict_hint or current - 1)
+        )
+        self._send_append(follower)
+
+    # -- replication -------------------------------------------------------
+
+    def _broadcast_append(self) -> None:
+        for peer in self.peers:
+            self._send_append(peer)
+
+    def _send_append(self, peer: int) -> None:
+        ni = self.next_index.get(peer, self.last_log_index() + 1)
+        prev_index = ni - 1
+        prev_term = (
+            self.log[prev_index - 1].term if prev_index > 0 else 0
+        )
+        entries = tuple(
+            self.log[prev_index:prev_index + self.timing.max_batch]
+        )
+        self.group.fabric.send(
+            self.node_id, peer,
+            AppendEntries(
+                self.current_term, self.node_id, prev_index, prev_term,
+                entries, self.commit_index,
+            ),
+        )
+
+    def propose(self, command) -> Tuple[int, int]:
+        """Leader-side append; returns ``(index, term)`` for the caller
+        to wait on via :meth:`commit_event`."""
+        if not self.alive:
+            raise RaftError(f"{self.name} is down")
+        if self.state is not RaftState.LEADER:
+            raise RaftError(
+                f"{self.name} is not leader "
+                f"(hint: {self.leader_hint})"
+            )
+        entry = LogEntry(self.current_term, len(self.log) + 1, command)
+        self.log.append(entry)
+        self._advance_leader_commit()  # single-node groups commit here
+        self._broadcast_append()
+        return entry.index, entry.term
+
+    def commit_event(self, index: int, term: int):
+        """An engine event that fires when ``(index, term)`` commits on
+        this node, or fails with :class:`RaftError` if the slot is lost
+        (fencing, crash, or a conflicting entry winning the slot)."""
+        ev = self.engine.event(f"{self.name}-commit-{index}")
+        if self.commit_index >= index:
+            entry = self.log[index - 1] if index <= len(self.log) else None
+            if entry is not None and entry.term == term:
+                ev.succeed(self.engine.now_us)
+            else:
+                ev.fail(RaftError(
+                    f"slot {index} committed a different term's entry"
+                ))
+        else:
+            self._waiters.setdefault(index, []).append((term, ev))
+        return ev
+
+    def _advance_leader_commit(self) -> None:
+        for n in range(len(self.log), self.commit_index, -1):
+            entry = self.log[n - 1]
+            if entry.term != self.current_term:
+                # Leader Completeness: never count replication of an
+                # earlier-term entry directly (Raft §5.4.2); it commits
+                # transitively under a current-term entry above it.
+                break
+            votes = 1 + sum(
+                1 for p in self.peers if self.match_index.get(p, 0) >= n
+            )
+            if votes >= self.majority:
+                self._set_commit_index(n)
+                break
+
+    def _set_commit_index(self, new_commit: int) -> None:
+        if new_commit <= self.commit_index:
+            return
+        old = self.commit_index
+        self.commit_index = new_commit
+        self.group.tracker.record_commit_advance(
+            self.node_id, self.state, self.current_term, new_commit
+        )
+        for idx in range(old + 1, new_commit + 1):
+            entry = self.log[idx - 1]
+            self.group._on_commit(self, idx, entry)
+            for want_term, ev in self._waiters.pop(idx, ()):  # noqa: B020
+                if ev.fired:
+                    continue
+                if entry.term == want_term:
+                    ev.succeed(self.engine.now_us)
+                else:
+                    ev.fail(RaftError(
+                        f"slot {idx} committed a different term's entry"
+                    ))
+
+    def _fail_waiters(self, reason: str) -> None:
+        waiters, self._waiters = self._waiters, {}
+        for pending in waiters.values():
+            for _, ev in pending:
+                if not ev.fired:
+                    ev.fail(RaftError(reason))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RaftNode({self.node_id}, {self.state.value}, "
+            f"term={self.current_term}, log={len(self.log)}, "
+            f"commit={self.commit_index})"
+        )
+
+
+__all__ = [
+    "AppendEntries",
+    "AppendReply",
+    "ElectionTiming",
+    "LogEntry",
+    "RaftNode",
+    "RaftState",
+    "RequestVote",
+    "VoteReply",
+]

@@ -54,6 +54,7 @@ CHANNELS = (
     "scrub",      # scrub sweeps and corruption repairs
     "db",         # compute-layer checkpoints
     "slo",        # SLO evaluator alerts/recoveries
+    "election",   # consensus votes, term bumps, fences (consensus layer)
 )
 
 #: Binary dump magic (versioned; bump on format change).

@@ -33,7 +33,7 @@ from repro.obs.slo import (
 )
 
 #: Default seeds per scenario (match the CLI/perf-harness conventions).
-DEFAULT_SEEDS = {"sysbench": 7, "chaos": 42, "cluster": 0}
+DEFAULT_SEEDS = {"sysbench": 7, "chaos": 42, "cluster": 0, "raft": 11}
 
 #: ``on_tick(run, now_us)`` — fired every evaluator interval.
 TickFn = Callable[["ObservedRun", float], None]
@@ -52,7 +52,8 @@ class ObservedRun:
     now_us: float = 0.0
     passed: bool = True
     detail: Dict[str, object] = field(default_factory=dict)
-    #: The chaos scenario keeps its full report (rendered verdict).
+    #: The chaos and raft scenarios keep their full report here
+    #: (rendered verdict with schedule counters).
     chaos_report: Optional[object] = None
 
     @property
@@ -245,10 +246,46 @@ def _run_cluster(
     }
 
 
+# ---------------------------------------------------------------------------
+# raft: elections, partitions, and leader crashes on one volume
+# ---------------------------------------------------------------------------
+
+
+def _run_raft(
+    run: ObservedRun, on_tick: Optional[TickFn], interval_us: float
+) -> None:
+    from repro.consensus.scenario import run_raft
+
+    # The scenario owns its engine and SLO specs (the four split-brain
+    # invariants plus schedule floors); the tick hook rides the per-ack
+    # ``on_progress`` callback, like chaos.
+    def progress(op: int, now_us: float) -> None:
+        if op % 4 == 0:
+            _tick(run, on_tick, now_us)
+
+    report = run_raft(
+        seed=run.seed,
+        quick=run.quick,
+        on_progress=progress,
+        evaluator=run.evaluator,
+    )
+    run.registries.append(report.metrics)
+    run.now_us = max(run.now_us, report.end_us)
+    run.passed = report.passed
+    run.chaos_report = report
+    run.detail = {
+        "commits_acked": report.commits_acked,
+        "elections": report.elections,
+        "fences": report.fences,
+        "leader_crashes": report.leader_crashes,
+    }
+
+
 _RUNNERS = {
     "sysbench": _run_sysbench,
     "chaos": _run_chaos,
     "cluster": _run_cluster,
+    "raft": _run_raft,
 }
 
 SCENARIOS = tuple(sorted(_RUNNERS))

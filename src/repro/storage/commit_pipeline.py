@@ -22,9 +22,17 @@ being serialized against them.
   event fires the moment the leader is durable and ``quorum - 1``
   follower acks are in.  A slow follower keeps occupying its device in
   the background without delaying the commit;
-* if enough followers fail mid-flight that quorum can never be reached,
-  the commit event *fails* with :class:`RaftError` — every waiter in
-  the batch sees the same error, and nothing deadlocks.
+* if enough followers fail mid-flight that quorum can never be reached
+  — or an election fences this replication attempt — the flusher
+  *retries* the batch with bounded, seeded-jitter exponential backoff
+  (a transient quorum loss across a failover is the expected case, not
+  an error).  Only when the retry deadline is exhausted does the commit
+  event fail with :class:`RaftError` — every waiter in the batch sees
+  the same error, and nothing deadlocks, exactly as before;
+* each replication attempt snapshots the store's leader epoch and is
+  *fenced*: if an election moves leadership while the fan-out is in
+  flight, the attempt fails rather than letting a deposed leader
+  acknowledge a commit it can no longer guarantee.
 
 With a single client and ``window_us == 0`` the pipeline reproduces the
 synchronous path's timings exactly (each batch has one commit, the
@@ -41,6 +49,7 @@ from repro.common.errors import (
     RaftError,
     ReproError,
 )
+from repro.common.rng import make_rng
 from repro.engine import Engine, Event
 from repro.obs.events import recorder_active
 from repro.storage.redo import RedoRecord, encode_records
@@ -55,6 +64,8 @@ class GroupCommitPipeline:
         engine: Engine,
         window_us: float = 0.0,
         max_batch: int = 64,
+        retry_backoff_us: float = 250.0,
+        retry_deadline_us: float = 60_000.0,
     ) -> None:
         if window_us < 0:
             raise ValueError(f"negative group-commit window {window_us}")
@@ -62,6 +73,14 @@ class GroupCommitPipeline:
         self.engine = engine
         self.window_us = float(window_us)
         self.max_batch = max_batch
+        #: Base pause before re-replicating after a transient RaftError;
+        #: doubles per attempt with seeded jitter.
+        self.retry_backoff_us = float(retry_backoff_us)
+        #: Total retry budget per batch; exhausted = fail-fast as before.
+        self.retry_deadline_us = float(retry_deadline_us)
+        self._retry_rng = make_rng(
+            getattr(store, "seed", 0), "commit-retry"
+        )
         #: (records, arrive_us, commit event) awaiting the next flush.
         self._pending: List[Tuple[List[RedoRecord], float, Event]] = []
         self._flusher = None
@@ -69,6 +88,7 @@ class GroupCommitPipeline:
         self._batches = m.counter("storage.group_commit.batches")
         self._batched = m.counter("storage.group_commit.commits")
         self._batch_size = m.histogram("storage.group_commit.batch_size")
+        self._retries = m.counter("raft.retries")
 
     def commit_proc(self, records: Sequence[RedoRecord]):
         """Engine process: enqueue this commit, wait for its batch to be
@@ -98,7 +118,7 @@ class GroupCommitPipeline:
             self._batched.add(len(batch))
             self._batch_size.record(len(batch))
             try:
-                commit = yield from self._replicate_proc(records)
+                commit = yield from self._replicate_with_retry(records)
             except ReproError as exc:
                 for _, _, done in batch:
                     done.fail(exc)
@@ -126,16 +146,57 @@ class GroupCommitPipeline:
                 store._commit_rate.record(commit)
                 done.succeed(commit)
 
+    def _replicate_with_retry(self, records: List[RedoRecord]):
+        """Replicate one batch, retrying transient :class:`RaftError`
+        with bounded seeded-jitter backoff (see module docstring).
+
+        A batch that succeeds first try draws no randomness and waits no
+        timeout — the success path is timing-identical to calling
+        :meth:`_replicate_proc` directly, which the analytic-equivalence
+        tests depend on.
+        """
+        engine = self.engine
+        deadline = engine.now_us + self.retry_deadline_us
+        attempt = 0
+        while True:
+            try:
+                commit = yield from self._replicate_proc(records)
+            except RaftError as exc:
+                attempt += 1
+                if engine.now_us >= deadline:
+                    raise RaftError(
+                        f"commit gave up after {attempt} attempts: {exc}"
+                    )
+                self._retries.inc()
+                pause = self.retry_backoff_us * (2 ** min(attempt, 6))
+                pause *= 0.5 + self._retry_rng.random()
+                pause = max(1.0, min(pause, deadline - engine.now_us))
+                rec = recorder_active()
+                if rec is not None:
+                    rec.emit(
+                        engine.now_us, "commit", "retry",
+                        attempt=attempt,
+                        pause_us=round(pause, 3),
+                        reason=str(exc),
+                    )
+                yield engine.timeout(pause)
+            else:
+                return commit
+
     def _replicate_proc(self, records: List[RedoRecord]):
         """Pipelined quorum replication of one encoded redo batch.
 
         Leader persist and every follower pipeline run as concurrent
         processes; this process wakes when quorum is durable (or
-        provably unreachable).
+        provably unreachable).  The attempt is pinned to the leader
+        epoch observed at entry: an election mid-flight fails it with
+        :class:`RaftError` instead of letting the deposed leader ack.
         """
         store = self.store
         engine = self.engine
-        store._require_quorum()
+        store._require_quorum(engine.now_us)
+        epoch = store._leader_epoch
+        leader = store.leader
         blob = encode_records(records)
         pages = [r.page_no for r in records]
         send = store.network.rpc_us(len(blob))
@@ -147,7 +208,11 @@ class GroupCommitPipeline:
         def check() -> None:
             if quorum_ev.fired:
                 return
-            if state["leader_done"] and state["acks"] >= needed:
+            if store._leader_epoch != epoch:
+                quorum_ev.fail(RaftError(
+                    "fenced: leadership changed during replication"
+                ))
+            elif state["leader_done"] and state["acks"] >= needed:
                 quorum_ev.succeed(engine.now_us)
             elif state["live"] - state["lost"] < needed:
                 alive = 1 + state["live"] - state["lost"]
@@ -156,9 +221,7 @@ class GroupCommitPipeline:
                 )
 
         def leader_proc():
-            # Leader loss is out of scope: an error here surfaces from
-            # the engine run loop rather than failing over.
-            yield from store.leader.persist_redo_proc(blob)
+            yield from leader.persist_redo_proc(blob)
             state["leader_done"] = True
             check()
 
@@ -175,12 +238,17 @@ class GroupCommitPipeline:
                 check()
                 return
             yield engine.timeout(ack)
-            state["acks"] += 1
+            if store._net_blocked(i, engine.now_us):
+                # The ack died in a partition that opened mid-flight;
+                # the follower's copy is durable but unprovable here.
+                state["lost"] += 1
+            else:
+                state["acks"] += 1
             check()
 
         engine.spawn(leader_proc(), name="redo-leader")
-        for i, node in enumerate(store.nodes[1:], start=1):
-            if not store._alive[i]:
+        for i, node in store._followers():
+            if not store._alive[i] or store._net_blocked(i, engine.now_us):
                 store._missed[i].update(pages)
                 continue
             state["live"] += 1

@@ -2,9 +2,12 @@
 
 PolarStore commits a write once the leader and a majority of replicas have
 persisted it.  This module models exactly that commit rule plus the
-network: leadership election and log repair are out of scope (the paper
-never exercises them), but follower failure and quorum loss are modeled so
-the availability behaviour is testable.
+network.  Leadership election and log repair live in
+:mod:`repro.consensus` — a full Raft implementation (randomized election
+timers, term fencing, nextIndex backoff) that a volume opts into via
+:meth:`PolarStore.attach_consensus`; without it leadership stays static
+at replica 0, and follower failure / quorum loss are still modeled so
+the availability behaviour is testable either way.
 
 Timing: the leader issues the replica RPCs in parallel; each follower
 persists through its own device queue; the commit time is the leader

@@ -133,6 +133,7 @@ class PolarStore:
             raise ValueError("need at least one replica")
         self.config = config if config is not None else NodeConfig()
         self.network = network
+        self.seed = seed
         #: One registry spans the whole volume: every node, device, FTL,
         #: and selector instrument lands here, and its tracer carries span
         #: context through the write/read paths.
@@ -161,6 +162,16 @@ class PolarStore:
         #: Chaos fault plan (when armed) — its ledger attributes detected
         #: corruption back to the injected fault kind.
         self.chaos_plan = None
+        #: Network fault plan (when armed): partitions that sever
+        #: consensus heartbeats also sever this volume's replica fan-out.
+        self._net_plan = None
+        #: Elected leadership (when a consensus group is attached).
+        #: Without one the leader is statically replica 0, as before.
+        self._leader_index = 0
+        #: Bumped on every leader change; the commit pipeline snapshots
+        #: it to fence in-flight replication across an election.
+        self._leader_epoch = 0
+        self._consensus = None
         #: Volume-time high-water mark: every commit/read completion
         #: advances it, so control-plane operations (recovery, resync)
         #: can never be timestamped before work that already happened.
@@ -239,7 +250,11 @@ class PolarStore:
 
     @property
     def leader(self) -> StorageNode:
-        return self.nodes[0]
+        return self.nodes[self._leader_index]
+
+    @property
+    def leader_index(self) -> int:
+        return self._leader_index
 
     @property
     def quorum(self) -> int:
@@ -249,13 +264,79 @@ class PolarStore:
         """Register the fault plan whose ledger attributes corruption."""
         self.chaos_plan = plan
 
+    def attach_net_plan(self, plan) -> None:
+        """Register a :class:`~repro.chaos.net.NetFaultPlan`: replica
+        fan-out consults its partition windows (node index = net node
+        id), so a partition that isolates the leader from a follower
+        stops that follower from acking writes."""
+        self._net_plan = plan
+
+    def attach_consensus(self, group) -> None:
+        """Drive this volume's leadership from an elected Raft group.
+
+        Raft node ids map one-to-one onto replica indexes.  Every
+        election moves the write/read anchor to the winner and bumps the
+        leader epoch that fences in-flight pipelined commits; crash and
+        recovery of a replica crash and restart its Raft node, so a
+        failed *leader* now triggers a real failover instead of the old
+        "out of scope" refusal.
+        """
+        if len(group.node_ids) != len(self.nodes):
+            raise ReproError(
+                f"consensus group size {len(group.node_ids)} != "
+                f"{len(self.nodes)} replicas"
+            )
+        self._consensus = group
+        if group.leader_id is not None:
+            self._leader_index = group.leader_id
+        group.add_leader_listener(self._on_consensus_leader)
+
+    def _on_consensus_leader(self, node_id: int, term: int) -> None:
+        changed = node_id != self._leader_index
+        self._leader_index = node_id
+        self._leader_epoch += 1
+        if changed:
+            self.metrics.counter("storage.leader_changes").add(1)
+        rec = recorder_active()
+        if rec is not None:
+            rec.emit(
+                self.clock.now_us, "election", "store_leader",
+                node=node_id, term=term,
+            )
+
+    def _net_blocked(self, index: int, now_us: float) -> bool:
+        """Is the leader <-> ``index`` link partitioned right now?"""
+        plan = self._net_plan
+        if plan is None:
+            return False
+        lead = self._leader_index
+        return plan.blocked(lead, index, now_us) or plan.blocked(
+            index, lead, now_us
+        )
+
+    def _followers(self):
+        """Replica ``(index, node)`` pairs excluding the current leader
+        (the dynamic counterpart of the old ``nodes[1:]`` fan-out)."""
+        lead = self._leader_index
+        return [
+            (i, node) for i, node in enumerate(self.nodes) if i != lead
+        ]
+
     def fail_node(self, index: int) -> None:
-        """Take a follower replica down (crash: loses all RAM state)."""
-        if index == 0:
-            raise ReproError("leader failover is out of scope")
+        """Crash a replica (loses all RAM state).
+
+        Crashing the *leader* requires an attached consensus group —
+        someone has to win the election that replaces it.  The Raft node
+        (when present) crashes with the replica, so the failure is
+        visible to the consensus plane too.
+        """
+        if index == self._leader_index and self._consensus is None:
+            raise ReproError("leader failover requires a consensus group")
         if not self._alive[index]:
             raise ReproError(f"node {index} is already failed")
         self._alive[index] = False
+        if self._consensus is not None:
+            self._consensus.crash(index)
 
     def recover_node(self, index: int, now_us: Optional[float] = None) -> float:
         """Rejoin a failed replica through real crash recovery.
@@ -286,6 +367,11 @@ class PolarStore:
             )
         self.nodes[index] = rebuilt
         self._alive[index] = True
+        if self._consensus is not None:
+            # Even a deposed leader rejoins as FOLLOWER at its persisted
+            # term; its Raft log repairs (nextIndex backoff) before the
+            # node counts as serving again.
+            self._consensus.restart(index)
         self.metrics.counter("chaos.wal_replays", node=rebuilt.name).add(1)
         rec = recorder_active()
         if rec is not None:
@@ -338,7 +424,7 @@ class PolarStore:
         """Resync stale pages on replicas that stayed up through a device
         outage (their writes were dropped, not their process)."""
         now = now_us
-        for i in range(1, len(self.nodes)):
+        for i, _node in self._followers():
             if self._alive[i] and self._missed[i]:
                 now = max(now, self._resync_node(i, now_us))
         return now
@@ -428,7 +514,7 @@ class PolarStore:
         applied_lsn: int = 0,
     ) -> float:
         tracer = self.metrics.tracer
-        self._require_quorum()
+        self._require_quorum(start_us)
         leader_done = self.leader.write_page_local(
             start_us, page_no, prepared, applied_lsn=applied_lsn
         ).done_us
@@ -438,8 +524,8 @@ class PolarStore:
         # Followers run concurrently with the leader; only the critical
         # path is attributed, so their spans are suppressed.
         with tracer.suppressed():
-            for i, node in enumerate(self.nodes[1:], start=1):
-                if not self._alive[i]:
+            for i, node in self._followers():
+                if not self._alive[i] or self._net_blocked(i, start_us):
                     self._missed[i].add(page_no)
                     continue
                 try:
@@ -460,14 +546,30 @@ class PolarStore:
         tracer.end(sp, commit)
         return commit
 
-    def _require_quorum(self) -> None:
+    def _require_quorum(self, now_us: Optional[float] = None) -> None:
         """Refuse before mutating any replica when quorum is already known
         to be lost: writing the leader first would leave an orphaned local
         copy of an update that never committed — unreadable garbage no
-        healthy replica can repair."""
-        alive = sum(self._alive)
-        if alive < self.quorum:
-            raise RaftError(f"no quorum: {alive}/{len(self.nodes)} alive")
+        healthy replica can repair.
+
+        With ``now_us``, partitioned followers (per the attached net
+        plan) count as unreachable too — the same orphaned-copy hazard,
+        caused by a severed link instead of a dead process.
+        """
+        if not self._alive[self._leader_index]:
+            raise RaftError(
+                "leader replica is down (awaiting election)"
+            )
+        reachable = 1 + sum(
+            1
+            for i, _node in self._followers()
+            if self._alive[i]
+            and not (now_us is not None and self._net_blocked(i, now_us))
+        )
+        if reachable < self.quorum:
+            raise RaftError(
+                f"no quorum: {reachable}/{len(self.nodes)} reachable"
+            )
 
     def _commit_time(self, leader_done: float, acks: List[float]) -> float:
         alive = 1 + len(acks)
@@ -486,7 +588,7 @@ class PolarStore:
         """Replicated non-page-aligned write (no-compression mode rule:
         decompress existing, splice, store uncompressed)."""
         tracer = self.metrics.tracer
-        self._require_quorum()
+        self._require_quorum(start_us)
         root = tracer.begin("storage.partial_write", start_us, layer="storage")
         leader_done = self.leader.write_partial(
             start_us, page_no, offset, data
@@ -495,8 +597,8 @@ class PolarStore:
         ack = self.network.rpc_us(64)
         acks = []
         with tracer.suppressed():
-            for i, node in enumerate(self.nodes[1:], start=1):
-                if not self._alive[i]:
+            for i, node in self._followers():
+                if not self._alive[i] or self._net_blocked(i, start_us):
                     self._missed[i].add(page_no)
                     continue
                 try:
@@ -520,15 +622,15 @@ class PolarStore:
         """Replicated redo persistence (the transaction-commit path)."""
         blob = encode_records(records)
         tracer = self.metrics.tracer
-        self._require_quorum()
+        self._require_quorum(start_us)
         root = tracer.begin("storage.redo_commit", start_us, layer="storage")
         leader_done = self.leader.persist_redo(start_us, blob)
         send = self.network.rpc_us(len(blob))
         ack = self.network.rpc_us(64)
         acks = []
         with tracer.suppressed():
-            for i, node in enumerate(self.nodes[1:], start=1):
-                if not self._alive[i]:
+            for i, node in self._followers():
+                if not self._alive[i] or self._net_blocked(i, start_us):
                     self._missed[i].update(r.page_no for r in records)
                     continue
                 try:
@@ -572,8 +674,8 @@ class PolarStore:
                         node.add_redo(commit, list(records))
                         break
                     except DeviceUnavailableError:
-                        if i == 0:
-                            raise  # leader loss is out of scope
+                        if i == self._leader_index:
+                            raise  # the elected leader must stay durable
                         self._missed[i].update(
                             r.page_no for r in records
                         )
@@ -620,7 +722,7 @@ class PolarStore:
                         )
                         break
                     except DeviceUnavailableError:
-                        if i == 0:
+                        if i == self._leader_index:
                             raise
                         self._missed[i].update(page_nos)
                         break
@@ -644,7 +746,7 @@ class PolarStore:
                         )
                         break
                     except DeviceUnavailableError:
-                        if i == 0:
+                        if i == self._leader_index:
                             raise
                         # Un-consolidated redo stays cached for later.
                         break
@@ -670,10 +772,16 @@ class PolarStore:
         the bad copies from the good image, and counts the repair.  Reads
         slower than ``hedge_after_us`` are hedged to a follower.
         """
+        lead = self._leader_index
+        if not self._alive[lead] or page_no in self._missed[lead]:
+            # The anchor replica cannot serve this page (dead, or it is
+            # a freshly-elected leader still missing pages from its own
+            # downtime): read from any live replica with a current copy.
+            return self._read_from_peer(start_us, page_no)
         try:
             result = self.leader.read_page(start_us, page_no)
         except PageCorruptionError as err:
-            return self._read_with_repair(start_us, page_no, 0, err)
+            return self._read_with_repair(start_us, page_no, lead, err)
         hedged = False
         if (
             self.hedge_after_us > 0
@@ -693,13 +801,36 @@ class PolarStore:
             )
         return result
 
+    def _read_from_peer(self, start_us: float, page_no: int) -> ReadResult:
+        """Serve a read when the leader replica cannot: first live
+        replica holding a current copy wins (repairing as needed)."""
+        last_err: Optional[ReproError] = None
+        for i, node in enumerate(self.nodes):
+            if not self._alive[i] or page_no in self._missed[i]:
+                continue
+            try:
+                with self.metrics.tracer.suppressed():
+                    result = node.read_page(start_us, page_no)
+            except PageCorruptionError as err:
+                return self._read_with_repair(start_us, page_no, i, err)
+            except ReproError as err:
+                last_err = err
+                continue
+            self.clock.advance_to(result.done_us)
+            return result
+        if last_err is not None:
+            raise last_err
+        raise ReproError(
+            f"no live replica holds a current copy of page {page_no}"
+        )
+
     def _hedged_read(
         self, start_us: float, page_no: int, leader_result: ReadResult
     ) -> ReadResult:
         """Fire a backup read at a follower after the hedge timeout; the
         earlier completion wins (the slow-I/O mitigation of §4.1.1)."""
         hedge_start = start_us + self.hedge_after_us
-        for i in range(1, len(self.nodes)):
+        for i, _node in self._followers():
             if not self._alive[i] or page_no in self._missed[i]:
                 continue
             try:

@@ -1,0 +1,117 @@
+"""The network fault plan: windows, direction scopes, seeded rolls."""
+
+from repro.chaos.net import NetFaultKind, NetFaultPlan, NetRule
+
+
+# -- partition windows and scopes -------------------------------------------
+
+
+def test_partition_active_only_inside_its_window():
+    plan = NetFaultPlan(1)
+    plan.partition([0], [1, 2], 1_000.0, 2_000.0)
+    assert not plan.blocked(0, 1, 999.0)
+    assert plan.blocked(0, 1, 1_000.0)
+    assert plan.blocked(0, 2, 1_500.0)
+    assert not plan.blocked(0, 1, 2_000.0)  # half-open window
+
+
+def test_symmetric_partition_cuts_both_directions():
+    plan = NetFaultPlan(1)
+    plan.partition([0], [1], 0.0, 10.0)
+    assert plan.blocked(0, 1, 5.0)
+    assert plan.blocked(1, 0, 5.0)
+    assert not plan.blocked(0, 2, 5.0)
+    assert not plan.blocked(2, 1, 5.0)
+
+
+def test_asymmetric_partition_cuts_one_direction():
+    plan = NetFaultPlan(1)
+    plan.partition([0], [1], 0.0, 10.0, symmetric=False)
+    assert plan.blocked(0, 1, 5.0)
+    assert not plan.blocked(1, 0, 5.0)
+
+
+def test_none_scope_matches_every_node():
+    rule = NetRule(NetFaultKind.PARTITION, src=None, dst=frozenset({3}))
+    assert rule.matches(0, 3)
+    assert rule.matches(99, 3)
+    assert not rule.matches(3, 0)
+
+
+# -- probabilistic rules -----------------------------------------------------
+
+
+def test_drop_verdicts_are_seed_deterministic():
+    def verdicts(seed):
+        plan = NetFaultPlan(seed)
+        plan.drop(0.5)
+        return [plan.judge(0, 1, float(t)).dropped for t in range(50)]
+
+    assert verdicts(7) == verdicts(7)
+    assert verdicts(7) != verdicts(8)  # the seed is live
+
+
+def test_blocked_consumes_no_randomness():
+    """Data-plane polling of ``blocked`` must not perturb the message-
+    level fault streams."""
+    a = NetFaultPlan(7)
+    a.drop(0.5)
+    b = NetFaultPlan(7)
+    b.drop(0.5)
+    for t in range(200):
+        b.blocked(0, 1, float(t))  # poll hard on one plan only
+    rolls_a = [a.judge(0, 1, float(t)).dropped for t in range(30)]
+    rolls_b = [b.judge(0, 1, float(t)).dropped for t in range(30)]
+    assert rolls_a == rolls_b
+
+
+def test_per_link_streams_are_independent():
+    """Adding traffic on one link must not shift another link's rolls."""
+    a = NetFaultPlan(7)
+    a.drop(0.5)
+    b = NetFaultPlan(7)
+    b.drop(0.5)
+    for t in range(100):
+        b.judge(2, 0, float(t))  # extra traffic on an unrelated link
+    rolls_a = [a.judge(0, 1, float(t)).dropped for t in range(30)]
+    rolls_b = [b.judge(0, 1, float(t)).dropped for t in range(30)]
+    assert rolls_a == rolls_b
+
+
+def test_delay_scales_within_half_to_three_halves():
+    plan = NetFaultPlan(3)
+    plan.delay(1.0, delay_us=100.0)
+    for t in range(20):
+        verdict = plan.judge(0, 1, float(t))
+        assert 50.0 <= verdict.extra_delay_us <= 150.0
+    assert plan.delayed_messages == 20
+
+
+def test_duplicate_always_fires_at_probability_one():
+    plan = NetFaultPlan(3)
+    plan.duplicate(1.0)
+    assert plan.judge(0, 1, 0.0).duplicates == 1
+    assert plan.duplicated_messages == 1
+
+
+def test_counts_track_every_kind():
+    plan = NetFaultPlan(5)
+    plan.partition([0], [1], 0.0, 10.0)
+    plan.drop(1.0, src=[2], dst=[0])
+    plan.delay(1.0, delay_us=10.0, src=[2], dst=[1])
+    plan.duplicate(1.0, src=[1], dst=[2])
+    assert plan.judge(0, 1, 5.0).blocked
+    assert plan.judge(2, 0, 5.0).dropped
+    assert plan.judge(2, 1, 5.0).extra_delay_us > 0.0
+    assert plan.judge(1, 2, 5.0).duplicates == 1
+    assert plan.counts() == {
+        "blocked": 1, "dropped": 1, "delayed": 1, "duplicated": 1,
+    }
+
+
+def test_clean_message_reports_clean_verdict():
+    plan = NetFaultPlan(5)
+    plan.partition([0], [1], 0.0, 10.0)
+    verdict = plan.judge(2, 1, 5.0)
+    assert not verdict.blocked and not verdict.dropped
+    assert verdict.extra_delay_us == 0.0 and verdict.duplicates == 0

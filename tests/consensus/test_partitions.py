@@ -1,0 +1,112 @@
+"""Partitions against the consensus plane: both shapes, plus lossy links."""
+
+import pytest
+
+from repro.chaos.net import NetFaultPlan
+from repro.common.errors import RaftError
+from repro.consensus import RaftGroup, RaftState
+from repro.engine import Engine
+
+
+def make_group(seed=4, plan=None):
+    engine = Engine()
+    plan = plan if plan is not None else NetFaultPlan(seed)
+    group = RaftGroup(engine, 3, seed=seed, plan=plan).start()
+    engine.run_until_idle(limit_us=40_000.0)
+    assert group.leader_id is not None
+    return engine, group, plan
+
+
+def test_symmetric_partition_elects_successor_and_fences_old_leader():
+    engine, group, plan = make_group()
+    old = group.leader_id
+    rest = [i for i in group.node_ids if i != old]
+    plan.partition([old], rest, engine.now_us, engine.now_us + 30_000.0)
+    engine.run_until_idle(limit_us=engine.now_us + 30_000.0)
+    # The majority side moved on without the isolated leader.
+    assert group.leader_id in rest
+    new_term = group.leader_term
+    # Heal: the old leader hears the higher term and steps down.
+    engine.run_until_idle(limit_us=engine.now_us + 30_000.0)
+    assert group.nodes[old].state is not RaftState.LEADER
+    assert group.nodes[old].current_term >= new_term
+    assert group.fences >= 1
+    assert group.tracker.one_leader_per_term() == []
+    assert group.tracker.terms_monotonic() == []
+    assert group.tracker.fenced_commit_nothing() == []
+
+
+def test_asymmetric_cut_starves_follower_into_disruptive_election():
+    engine, group, plan = make_group(seed=6)
+    lead = group.leader_id
+    victim = [i for i in group.node_ids if i != lead][0]
+    # One-way cut leader -> victim: the victim stops hearing heartbeats,
+    # times out, and its (reachable) RequestVote carries a higher term.
+    plan.partition(
+        [lead], [victim], engine.now_us, engine.now_us + 30_000.0,
+        symmetric=False,
+    )
+    terms_before = group.term_bumps
+    engine.run_until_idle(limit_us=engine.now_us + 60_000.0)
+    assert group.term_bumps > terms_before
+    assert group.leader_id is not None
+    assert group.tracker.one_leader_per_term() == []
+    assert group.tracker.terms_monotonic() == []
+
+
+def test_commits_fail_during_majority_loss_then_recover():
+    engine, group, plan = make_group()
+    lead = group.leader_id
+    rest = [i for i in group.node_ids if i != lead]
+    plan.partition(
+        [lead], rest, engine.now_us, engine.now_us + 200_000.0
+    )
+    # Propose against the isolated leader with a deadline inside the
+    # window: retries burn out and the client fails fast.
+    leader = group.nodes[lead]
+    index, term = leader.propose("lost-to-the-void")
+
+    def doomed():
+        yield from group.propose_proc("also-doomed", timeout_us=20_000.0)
+
+    with pytest.raises(RaftError, match="gave up"):
+        engine.run(doomed())
+    # After the window the group re-forms and accepts writes again.
+    engine.run_until_idle(limit_us=engine.now_us + 220_000.0)
+
+    def ok():
+        yield from group.propose_proc("post-heal")
+
+    engine.run(ok())
+    assert "post-heal" in group.committed_commands()
+    assert group.fences >= 1  # the deposed leader was fenced on heal
+    assert group.tracker.violations == []
+
+
+def test_client_retries_across_a_leader_crash_and_succeeds():
+    engine, group, plan = make_group(seed=5)
+    group.crash(group.leader_id)
+    # No leader hint: the client round-robins followers, eats not-leader
+    # errors with jittered backoff, and lands on the new leader.
+    commit_us = engine.run(group.propose_proc("survives-failover"))
+    assert commit_us > 0.0
+    assert group.client_retries >= 1
+    assert "survives-failover" in group.committed_commands()
+    assert group.tracker.violations == []
+
+
+def test_lossy_link_slows_but_does_not_break_consensus():
+    plan = NetFaultPlan(21)
+    plan.drop(0.15)  # every link, every message: a uniformly lossy mesh
+    engine, group, plan = make_group(seed=21, plan=plan)
+
+    def client():
+        for k in range(6):
+            yield from group.propose_proc(("lossy", k))
+
+    engine.run(client())
+    cmds = group.committed_commands()
+    for k in range(6):
+        assert ("lossy", k) in cmds
+    assert group.tracker.violations == []
+    assert plan.dropped_messages > 0

@@ -1,0 +1,172 @@
+"""Core Raft mechanics: elections, replication, fencing, log repair."""
+
+import pytest
+
+from repro.common.errors import RaftError
+from repro.consensus import RaftGroup, RaftState
+from repro.engine import Engine
+
+
+def make_group(n=3, seed=3, **kwargs):
+    engine = Engine()
+    group = RaftGroup(engine, n, seed=seed, **kwargs).start()
+    return engine, group
+
+
+def settle(engine, until_us=40_000.0):
+    # advance_to only moves idle time; draining with a limit actually
+    # dispatches the queued elections/heartbeats up to ``until_us``.
+    engine.run_until_idle(limit_us=until_us)
+
+
+# -- elections --------------------------------------------------------------
+
+
+def test_first_election_produces_exactly_one_leader():
+    engine, group = make_group()
+    settle(engine)
+    assert group.leader_id is not None
+    leaders = [n for n in group.nodes if n.state is RaftState.LEADER]
+    assert len(leaders) == 1
+    assert leaders[0].node_id == group.leader_id
+    assert group.tracker.one_leader_per_term() == []
+    assert group.tracker.terms_monotonic() == []
+
+
+def test_leader_log_starts_with_its_noop():
+    engine, group = make_group()
+    settle(engine)
+    leader = group.leader
+    assert leader.log[-1].command == ("noop", leader.current_term)
+    # The no-op itself commits once a majority acked it.
+    assert leader.commit_index >= 1
+
+
+def test_single_node_group_elects_and_commits_instantly():
+    engine, group = make_group(n=1)
+    settle(engine, 20_000.0)
+    leader = group.leader
+    assert leader is not None
+    index, term = leader.propose("solo")
+    assert leader.commit_index >= index
+    assert group.committed[-1].command == "solo"
+
+
+# -- replication ------------------------------------------------------------
+
+
+def test_propose_proc_replicates_to_every_node():
+    engine, group = make_group()
+    settle(engine)
+
+    def client():
+        for k in range(5):
+            yield from group.propose_proc(("cmd", k))
+
+    engine.run(client())
+    engine.run_until_idle(limit_us=engine.now_us + 20_000.0)
+    cmds = group.committed_commands()
+    for k in range(5):
+        assert ("cmd", k) in cmds
+    # Every live node's log converges on the committed prefix.
+    for node in group.nodes:
+        prefix = [e.command for e in node.log[: len(group.committed)]]
+        assert prefix == [e.command for e in group.committed]
+    assert group.tracker.no_committed_write_lost(cmds) == []
+
+
+def test_propose_to_follower_raises_with_leader_hint():
+    engine, group = make_group()
+    settle(engine)
+    follower = next(
+        n for n in group.nodes if n.state is not RaftState.LEADER
+    )
+    with pytest.raises(RaftError, match="not leader"):
+        follower.propose("nope")
+
+
+# -- fencing ----------------------------------------------------------------
+
+
+def test_higher_term_fences_a_leader():
+    engine, group = make_group()
+    settle(engine)
+    old_leader = group.leader
+    old_term = old_leader.current_term
+    # A rival message from the future: the leader must step down first
+    # and fail its in-flight waiters before considering the payload.
+    index, term = old_leader.propose("in-flight")
+    ev = old_leader.commit_event(index + 10, term)  # never commits
+    from repro.consensus.raft import RequestVote
+
+    old_leader.on_message(
+        RequestVote(old_term + 5, (old_leader.node_id + 1) % 3, 99, 99)
+    )
+    assert old_leader.state is RaftState.FOLLOWER
+    assert old_leader.current_term == old_term + 5
+    assert ev.fired  # waiter failed, not left dangling
+    with pytest.raises(RaftError, match="fenced"):
+        engine.run_until_complete([engine.spawn(_wait(ev))])
+    assert (old_leader.node_id, old_term) in group.tracker.fenced
+    assert group.tracker.fenced_commit_nothing() == []
+
+
+def _wait(ev):
+    yield ev
+
+
+# -- crash / restart / log repair -------------------------------------------
+
+
+def test_crash_keeps_persistent_state_and_restart_rejoins_as_follower():
+    engine, group = make_group()
+    settle(engine)
+
+    def client():
+        for k in range(4):
+            yield from group.propose_proc(("durable", k))
+
+    engine.run(client())
+    leader = group.leader
+    term_before = leader.current_term
+    log_before = list(leader.log)
+    group.crash(leader.node_id)
+    assert not leader.alive
+    assert leader.current_term == term_before  # persistent triple kept
+    assert leader.log == log_before
+    # The survivors elect a successor at a higher term.
+    engine.run_until_idle(limit_us=engine.now_us + 60_000.0)
+    assert group.leader_id is not None
+    assert group.leader_id != leader.node_id
+    group.restart(leader.node_id)
+    assert leader.state is RaftState.FOLLOWER
+    assert leader.repairing
+    engine.run_until_idle(limit_us=engine.now_us + 30_000.0)
+    # Log repair: the rejoined node caught back up to the commit point.
+    assert not leader.repairing
+    assert leader.commit_index >= len(group.committed) - 1
+    assert group.tracker.violations == []
+
+
+def test_committed_writes_survive_two_crash_cycles():
+    engine, group = make_group(seed=9)
+    settle(engine)
+
+    def client(tag, n):
+        for k in range(n):
+            yield from group.propose_proc((tag, k))
+
+    engine.run(client("a", 3))
+    group.crash(group.leader_id)
+    engine.run_until_idle(limit_us=engine.now_us + 60_000.0)
+    engine.run(client("b", 3))
+    dead = [n for n in group.nodes if not n.alive]
+    for node in dead:
+        group.restart(node.node_id)
+    engine.run_until_idle(limit_us=engine.now_us + 60_000.0)
+    cmds = group.committed_commands()
+    for tag in ("a", "b"):
+        for k in range(3):
+            assert (tag, k) in cmds
+    assert group.tracker.no_committed_write_lost(cmds) == []
+    assert group.tracker.one_leader_per_term() == []
