@@ -1,0 +1,31 @@
+"""B-tree-vs-LSM write-amplification crossover (arXiv:2107.13987).
+
+Drives the three consolidation policies (single-level / leveled /
+tiered) with the same mixed-page flush workload over a compressible and
+an incompressible corpus, measuring write/space/read amplification
+through the unified accountant.  The run fails (non-zero exit) if the
+crossover does not hold: single-level must beat leveled on WA when the
+CSD's transparent compression can collapse its rewrites, and lose when
+it cannot.
+
+Artifact: ``benchmarks/results/write_amp.{txt,json}`` (byte-deterministic;
+the ``compaction-smoke`` CI job double-runs the ``--quick`` variant via
+``python -m repro compaction``).
+"""
+
+import sys
+
+from repro.bench.write_amp import run_write_amp
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    _, crossover = run_write_amp(quick=quick)
+    if not crossover:
+        print("FAIL: WA crossover does not hold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

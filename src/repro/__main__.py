@@ -45,9 +45,17 @@ Commands
     Run an observed scenario (sysbench / chaos / cluster) with the
     flight recorder active and print (or dump) the structured event
     log: page I/O, GC relocations, group-commit flushes, migrations,
-    injected faults, codec selections, scrub repairs, SLO alerts —
-    all stamped with simulated time.  ``--load PATH`` replays and
-    filters a previously-written dump instead of running anything.
+    injected faults, codec selections, scrub repairs, SLO alerts,
+    compaction tasks — all stamped with simulated time.  ``--load
+    PATH`` replays and filters a previously-written dump instead of
+    running anything.
+``compaction``
+    Drive the three consolidation policies (single-level / leveled /
+    tiered) with the same flush workload over a compressible and an
+    incompressible corpus, report write/space/read amplification from
+    the unified ``storage.amp.*`` accountant, and check the
+    B-tree-vs-LSM WA crossover (arXiv:2107.13987); persists a
+    byte-deterministic table + JSON artifact.
 ``dash``
     Run an observed scenario and redraw a live terminal dashboard
     (queue depths, device utilization, latency percentiles,
@@ -338,6 +346,21 @@ def cmd_events(args) -> int:
     return 0
 
 
+def cmd_compaction(args) -> int:
+    from repro.bench.write_amp import run_write_amp
+
+    _, crossover = run_write_amp(
+        out_dir=args.out,
+        quick=args.quick,
+        policies=args.policy,
+        seed=args.seed,
+    )
+    if crossover is False:
+        print("FAIL: WA crossover does not hold", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_dash(args) -> int:
     from repro.obs.dash import live_dash
     from repro.obs.report import write_html
@@ -519,11 +542,14 @@ def main(argv=None) -> int:
     )
     events_p.add_argument(
         "--sample", default=None, metavar="SPEC",
-        help="per-channel sampling, e.g. 'io=8,gc=4' keeps 1 in N",
+        help="per-channel sampling, e.g. 'io=8,gc=4,compaction=1' "
+             "keeps 1 in N",
     )
     events_p.add_argument(
         "--channel", default=None,
-        help="only print events from this channel",
+        help="only print events from this channel (io, gc, commit, "
+             "migration, fault, codec, scrub, db, slo, election, "
+             "compaction)",
     )
     events_p.add_argument(
         "--kind", default=None,
@@ -540,6 +566,29 @@ def main(argv=None) -> int:
     events_p.add_argument(
         "--limit", type=int, default=None,
         help="print only the last N matching events",
+    )
+    compaction_p = sub.add_parser(
+        "compaction",
+        help="measure write/space/read amplification per consolidation "
+             "policy and check the B-tree-vs-LSM WA crossover",
+    )
+    compaction_p.add_argument(
+        "--quick", action="store_true",
+        help="smaller corpus (the CI compaction-smoke profile)",
+    )
+    compaction_p.add_argument(
+        "--policy", action="append", default=None,
+        choices=("single-level", "leveled", "tiered"),
+        help="run only this policy (repeatable; default: all three, "
+             "which also enables the crossover check)",
+    )
+    compaction_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default: benchmarks/results)",
+    )
+    compaction_p.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed (default: 7)",
     )
     dash_p = sub.add_parser(
         "dash",
@@ -583,6 +632,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "cluster": cmd_cluster,
         "events": cmd_events,
+        "compaction": cmd_compaction,
         "dash": cmd_dash,
     }
     if args.command is None:

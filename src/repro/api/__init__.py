@@ -9,6 +9,7 @@ live on in :mod:`repro.api.legacy` as deprecation shims.
 from repro.api.client import PolarStore, PolarStoreClient
 from repro.api.config import (
     ClusterSection,
+    ConsolidationConfig,
     DbSection,
     DeviceSection,
     EngineSection,
@@ -28,6 +29,7 @@ __all__ = [
     "EngineSection",
     "DbSection",
     "ClusterSection",
+    "ConsolidationConfig",
     "PerfConfig",
     "resolve_spec",
     "build_store",

@@ -6,8 +6,8 @@ another overlapping set, :class:`~repro.db.database.PolarDB` threaded a
 third through to both, and the cluster/benchmark code re-invented all of
 it per call site.  :class:`ReproConfig` replaces that with a single
 dataclass tree — ``store``, ``device``, ``engine``, ``db``, ``cluster``,
-``perf`` sections — consumed by :meth:`repro.api.PolarStore.open`, the
-CLI, and the figure benchmarks.
+``perf``, ``consolidation`` sections — consumed by
+:meth:`repro.api.PolarStore.open`, the CLI, and the figure benchmarks.
 
 ``from_dict``/``to_dict`` round-trip the tree through plain JSON-able
 dicts (unknown keys are rejected, so a typo'd override fails loudly
@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional
 
 from repro.common.units import MiB
+from repro.storage.consolidation import ConsolidationConfig
 from repro.storage.node import NodeConfig
 
 #: Named device specs selectable from configuration (resolved lazily so
@@ -164,6 +165,11 @@ class ReproConfig:
     db: DbSection = field(default_factory=DbSection)
     cluster: ClusterSection = field(default_factory=ClusterSection)
     perf: PerfConfig = field(default_factory=PerfConfig)
+    #: Evicted-redo organization (single-level/leveled/tiered) plus the
+    #: background consolidation/scrub cadence and compaction throttle.
+    consolidation: ConsolidationConfig = field(
+        default_factory=ConsolidationConfig
+    )
 
     # -- validation --------------------------------------------------------
 
@@ -203,6 +209,7 @@ class ReproConfig:
             raise ValueError("perf.arena_slots must be at least 1")
         resolve_spec(self.device.data_spec)
         resolve_spec(self.device.perf_spec)
+        self.consolidation.validate()
         return self
 
     # -- dict round-trip ---------------------------------------------------

@@ -89,11 +89,21 @@ class LSMStats:
 
     @property
     def write_amplification(self) -> float:
-        if self.user_write_bytes == 0:
-            return 1.0
-        return (
-            self.user_write_bytes + self.compaction_write_bytes
-        ) / self.user_write_bytes
+        """(user + compaction rewrite) bytes per user byte — the unified
+        WA definition (:func:`repro.obs.amp.write_amp`)."""
+        from repro.obs.amp import write_amp
+
+        return write_amp(
+            self.user_write_bytes,
+            self.user_write_bytes + self.compaction_write_bytes,
+        )
+
+    def bind_amp(self, metrics, **labels):
+        """Export this tree's WA as the ``storage.amp.write`` gauge in
+        ``metrics`` (the LSM baseline carries no registry of its own)."""
+        from repro.obs import amp
+
+        return amp.for_lsm(self, metrics, **labels)
 
 
 class LSMTree:

@@ -82,9 +82,24 @@ class FTLStats:
 
     @property
     def write_amplification(self) -> float:
-        if self.host_written_bytes == 0:
-            return 1.0
-        return self.nand_written_bytes / self.host_written_bytes
+        """NAND bytes per host byte — the unified WA definition
+        (:func:`repro.obs.amp.write_amp`)."""
+        from repro.obs.amp import write_amp
+
+        return write_amp(self.host_written_bytes, self.nand_written_bytes)
+
+    def bind_amp(self, metrics: Optional[MetricsRegistry] = None, **labels):
+        """Export this FTL's WA as the ``storage.amp.write`` gauge.
+
+        Opt-in (benchmarks/monitors call it): binding at construction
+        time would add an instrument to every default store and perturb
+        the perf-harness metric fingerprints.
+        """
+        from repro.obs import amp
+
+        return amp.for_ftl(
+            self, metrics if metrics is not None else self.metrics, **labels
+        )
 
 
 class FTL:

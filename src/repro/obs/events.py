@@ -55,6 +55,7 @@ CHANNELS = (
     "db",         # compute-layer checkpoints
     "slo",        # SLO evaluator alerts/recoveries
     "election",   # consensus votes, term bumps, fences (consensus layer)
+    "compaction", # consolidation-policy compaction tasks + deferred debt
 )
 
 #: Binary dump magic (versioned; bump on format change).

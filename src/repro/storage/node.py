@@ -38,13 +38,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.perf.runtime import perf_active
 from repro.storage.allocator import SpaceManager
 from repro.storage.cache import LRUCache
+from repro.storage.consolidation import ConsolidationConfig, make_policy
 from repro.storage.heavy import HeavySegmentStore
 from repro.storage.index import CompressionInfo, IndexEntry, PageIndex
-from repro.storage.perpage_log import (
-    LOG_BLOCK_CAPACITY,
-    PerPageLogStore,
-    ScatteredLogStore,
-)
 from repro.storage.redo import RedoRecord, apply_records
 from repro.storage.wal import WriteAheadLog
 
@@ -154,6 +150,7 @@ class StorageNode:
         data_device: BlockDevice,
         perf_device: BlockDevice,
         metrics: Optional[MetricsRegistry] = None,
+        consolidation: Optional[ConsolidationConfig] = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -179,10 +176,15 @@ class StorageNode:
         self.redo_cache: Dict[int, List[RedoRecord]] = {}
         self._redo_cache_bytes = 0
         self._last_algorithm: Dict[int, str] = {}
-        if config.opt_per_page_log:
-            self.log_store = PerPageLogStore(data_device, self.space)
-        else:
-            self.log_store = ScatteredLogStore(data_device, self.space)
+        #: How evicted redo is organized + compacted (§3.3.3 family).
+        self.consolidation = (
+            consolidation if consolidation is not None else ConsolidationConfig()
+        )
+        #: The consolidation policy.  Kept under the historical name:
+        #: every policy speaks the full log-store protocol.
+        self.log_store = make_policy(
+            self.consolidation, config, data_device, self.space
+        )
         self.heavy = HeavySegmentStore(data_device, self.space)
         # Performance-device LBA cursors (WAL area, redo area).
         self._perf_cursor = 0
@@ -737,11 +739,13 @@ class StorageNode:
             raise
 
     def _would_overflow_page_log(self, page_no: int) -> bool:
-        if not self.config.opt_per_page_log:
+        capacity = getattr(self.log_store, "page_capacity_bytes", None)
+        if capacity is None:
+            # Scattered / run-based layouts grow per-page without bound.
             return False
         pending = sum(r.size_bytes for r in self.redo_cache.get(page_no, ()))
         existing = self.log_store.stored_bytes_for(page_no)
-        return pending + existing > LOG_BLOCK_CAPACITY
+        return pending + existing > capacity
 
     def pending_redo_pages(self) -> List[int]:
         return list(self.redo_cache)

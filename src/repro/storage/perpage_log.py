@@ -86,6 +86,9 @@ class FetchResult:
 class ScatteredLogStore:
     """Baseline: shared append-only 4 KB log blocks."""
 
+    #: A page's records spread across arbitrarily many shared blocks.
+    page_capacity_bytes = None
+
     def __init__(self, device, allocator) -> None:
         self._device = device
         self._allocator = allocator
@@ -186,6 +189,9 @@ class ScatteredLogStore:
 
 class PerPageLogStore:
     """Opt#3: one dedicated sparse 4 KB log block per page."""
+
+    #: Hard per-page bound: everything must re-merge into one 4 KB block.
+    page_capacity_bytes = LOG_BLOCK_CAPACITY
 
     def __init__(self, device, allocator) -> None:
         self._device = device

@@ -39,6 +39,7 @@ from repro.csd.specs import (
 from repro.obs.events import recorder_active
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.runtime import perf_active
+from repro.storage.consolidation import ConsolidationConfig
 from repro.storage.index import CompressionInfo
 from repro.storage.node import NodeConfig, PreparedWrite, ReadResult, StorageNode
 from repro.storage.raft import NetworkModel
@@ -72,6 +73,7 @@ def build_node(
     inject_faults: bool = False,
     parallelism: int = 8,
     metrics: Optional[MetricsRegistry] = None,
+    consolidation: Optional[ConsolidationConfig] = None,
 ) -> StorageNode:
     """Construct a storage node with simulation-sized devices.
 
@@ -110,7 +112,10 @@ def build_node(
         perf_sized, seed=seed + 1, parallelism=2,
         metrics=metrics, metric_labels={"node": name, "role": "perf"},
     )
-    return StorageNode(name, config, data_device, perf_device, metrics=metrics)
+    return StorageNode(
+        name, config, data_device, perf_device,
+        metrics=metrics, consolidation=consolidation,
+    )
 
 
 class PolarStore:
@@ -128,10 +133,15 @@ class PolarStore:
         inject_faults: bool = False,
         physical_bytes: Optional[int] = None,
         parallelism: int = 8,
+        consolidation: Optional[ConsolidationConfig] = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
         self.config = config if config is not None else NodeConfig()
+        #: Consolidation policy + compaction cadence shared by all nodes.
+        self.consolidation = (
+            consolidation if consolidation is not None else ConsolidationConfig()
+        )
         self.network = network
         self.seed = seed
         #: One registry spans the whole volume: every node, device, FTL,
@@ -151,6 +161,7 @@ class PolarStore:
                 inject_faults=inject_faults,
                 parallelism=parallelism,
                 metrics=self.metrics,
+                consolidation=self.consolidation,
             )
             for i in range(replicas)
         ]
