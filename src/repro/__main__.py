@@ -62,6 +62,18 @@ Commands
     compression ratio, migration progress, SLO burn-rate sparklines)
     on every evaluator tick; ``--html PATH`` also writes a static,
     byte-deterministic HTML report at run end.
+``serve``
+    Host a PolarStore deployment (engine-bound volume or sharded
+    cluster) on a TCP socket speaking the ``repro.net`` wire protocol;
+    ``PolarStore.connect(addr)`` and ``python -m repro load`` are the
+    clients.  Runs until interrupted.
+``load``
+    Drive a seeded open-loop arrival process (Poisson / bursty /
+    diurnal) through the socket serving layer and report latency
+    percentiles, admission rejections, and SLO verdicts.  With no
+    ``--addr`` it spins up a loopback server in-process; the ``sim``
+    half of the ``--out`` JSON artifact is byte-identical across runs
+    of the same spec (the CI ``net-smoke`` gate).
 
 Every command honours ``REPRO_PERF`` (``1``/``on`` for the default
 fast path, or ``pool=N,memo=MiB,kind=process|thread|serial``); unset
@@ -378,6 +390,123 @@ def cmd_dash(args) -> int:
     return 0 if run.passed else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.api.config import ReproConfig
+    from repro.net.server import PolarStoreServer
+
+    doc = {
+        "engine": {"enabled": not args.no_engine},
+        "net": {"window": args.window},
+        "store": {"seed": args.seed},
+    }
+    if args.shards:
+        doc["cluster"] = {"shards": args.shards}
+    server = PolarStoreServer(ReproConfig.from_dict(doc))
+
+    async def run() -> None:
+        host, port = await server.start(args.host, args.port)
+        print(
+            f"serving PolarStore on {host}:{port} "
+            f"(window {args.window}, "
+            f"engine {'off' if args.no_engine else 'on'}, "
+            f"shards {args.shards or 'single volume'}) — ctrl-c to stop",
+            flush=True,
+        )
+        await server._server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_load(args) -> int:
+    from repro.api import PolarStore
+    from repro.api.config import ReproConfig
+    from repro.net.loadgen import ArrivalSpec, run_load
+    from repro.net.server import serve_in_thread
+
+    spec = ArrivalSpec(
+        process=args.arrival,
+        rate_per_s=args.rate,
+        requests=min(args.requests, 300) if args.quick else args.requests,
+        seed=args.seed,
+        keys=args.keys,
+    )
+    handle = None
+    if args.addr is None:
+        config = ReproConfig.from_dict({
+            "engine": {"enabled": True},
+            "net": {"window": args.window},
+            "store": {"seed": args.seed},
+        })
+        handle = serve_in_thread(config, port=0)
+        addr = handle.addr
+        print(f"# loopback server on {addr[0]}:{addr[1]} "
+              f"(window {args.window})", file=sys.stderr)
+    else:
+        addr = args.addr
+    client = PolarStore.connect(addr, timeout_s=args.timeout_s)
+    try:
+        report = run_load(client.transport, spec)
+    finally:
+        client.close()
+        if handle is not None:
+            handle.stop()
+    print(report.render())
+    if args.out is not None:
+        report.write_artifact(args.out)
+        print(f"artifact: {args.out}", file=sys.stderr)
+    if report.errors or not report.completed:
+        return 1
+    return 0
+
+
+_UNSET = object()
+
+
+def shared_options(
+    *,
+    seed=_UNSET,
+    seed_help: str = "",
+    out=_UNSET,
+    out_help: str = "",
+    out_metavar: str = "DIR",
+    quick_help=None,
+) -> argparse.ArgumentParser:
+    """The one definition of the CLI's recurring options.
+
+    Every subcommand that takes ``--seed``/``--out``/``--quick`` gets
+    them from this parent parser, so flag names, types, and help
+    phrasing cannot drift per command (they used to).  Pass ``seed=``/
+    ``out=`` defaults to include those flags; ``quick_help`` a string
+    to include ``--quick``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if seed is not _UNSET:
+        parent.add_argument(
+            "--seed", type=int, default=seed,
+            help=seed_help or (
+                "deterministic RNG seed"
+                + ("" if seed is None else f" (default: {seed})")
+            ),
+        )
+    if out is not _UNSET:
+        parent.add_argument(
+            "--out", default=out, metavar=out_metavar,
+            help=out_help or "directory for the table + JSON artifacts "
+                             "(default: benchmarks/results)",
+        )
+    if quick_help is not None:
+        parent.add_argument(
+            "--quick", action="store_true", help=quick_help,
+        )
+    return parent
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["perf"]:
@@ -413,11 +542,11 @@ def main(argv=None) -> int:
     chaos_p = sub.add_parser(
         "chaos",
         help="run the fault-injection harness and check invariants",
-    )
-    chaos_p.add_argument(
-        "--seed", type=int, default=42,
-        help="RNG seed for both the workload and the fault plan "
-             "(default: 42)",
+        parents=[shared_options(
+            seed=42,
+            seed_help="RNG seed for both the workload and the fault "
+                      "plan (default: 42)",
+        )],
     )
     chaos_p.add_argument(
         "--ops", type=int, default=700,
@@ -440,10 +569,12 @@ def main(argv=None) -> int:
         "raft",
         help="run the consensus scenario (elections, partitions, leader "
              "crashes) and assert the split-brain invariants",
-    )
-    raft_p.add_argument(
-        "--seed", type=int, default=11,
-        help="schedule seed (default: 11)",
+        parents=[shared_options(
+            seed=11,
+            seed_help="schedule seed (default: 11)",
+            out=None,
+            out_help="write the byte-deterministic raft_scenario.json here",
+        )],
     )
     raft_p.add_argument(
         "--full", action="store_true",
@@ -454,33 +585,29 @@ def main(argv=None) -> int:
         help="narrate elections, partitions, and crashes as they happen",
     )
     raft_p.add_argument(
-        "--out", default=None, metavar="DIR",
-        help="write the byte-deterministic raft_scenario.json here",
-    )
-    raft_p.add_argument(
         "--metrics", action="store_true",
         help="also dump the final metric snapshot as JSON",
     )
     bench_p = sub.add_parser(
         "bench",
         help="run a deterministic thread-scaling figure profile",
+        parents=[shared_options(
+            out=None,
+            quick_help="trimmed budgets for smoke/CI runs (recommended)",
+        )],
     )
     bench_p.add_argument(
         "--fig", choices=("12", "15"), required=True,
         help="which figure to profile (12: cluster sweep, 15: per-page log)",
     )
-    bench_p.add_argument(
-        "--quick", action="store_true",
-        help="trimmed budgets for smoke/CI runs (recommended)",
-    )
-    bench_p.add_argument(
-        "--out", default=None,
-        help="directory for the table + JSON artifacts "
-             "(default: benchmarks/results)",
-    )
     cluster_p = sub.add_parser(
         "cluster",
         help="run the sharded-runtime live-migration scenario (Fig 10/11)",
+        parents=[shared_options(
+            seed=0,
+            seed_help="seed for row data (default: 0)",
+            out=None,
+        )],
     )
     cluster_p.add_argument(
         "--shards", type=int, default=4,
@@ -491,15 +618,6 @@ def main(argv=None) -> int:
         help="chunks to ingest before rebalancing (default: 8; the "
              "benchmark profile uses 16)",
     )
-    cluster_p.add_argument(
-        "--seed", type=int, default=0,
-        help="seed for row data (default: 0)",
-    )
-    cluster_p.add_argument(
-        "--out", default=None,
-        help="directory for the table + JSON artifacts "
-             "(default: benchmarks/results)",
-    )
     sub.add_parser(
         "perf",
         help="wall-clock A/B harness (serial vs codec memo/pool fast "
@@ -509,6 +627,14 @@ def main(argv=None) -> int:
         "events",
         help="run an observed scenario and print/dump the flight-"
              "recorder event log (or --load a previous dump)",
+        parents=[shared_options(
+            seed=None,
+            seed_help="scenario seed (default: the scenario's pinned seed)",
+            out=None,
+            out_help="also write the dump here (JSONL; --binary for the "
+                     "compact framing)",
+            out_metavar="PATH",
+        )],
     )
     events_p.add_argument(
         "scenario", nargs="?",
@@ -520,17 +646,8 @@ def main(argv=None) -> int:
         help="replay/filter a previously-written dump instead of running",
     )
     events_p.add_argument(
-        "--seed", type=int, default=None,
-        help="scenario seed (default: the scenario's pinned seed)",
-    )
-    events_p.add_argument(
         "--full", action="store_true",
         help="full-size workload (default: quick smoke profile)",
-    )
-    events_p.add_argument(
-        "--out", default=None, metavar="PATH",
-        help="also write the dump here (JSONL; --binary for the "
-             "compact framing)",
     )
     events_p.add_argument(
         "--binary", action="store_true",
@@ -549,7 +666,7 @@ def main(argv=None) -> int:
         "--channel", default=None,
         help="only print events from this channel (io, gc, commit, "
              "migration, fault, codec, scrub, db, slo, election, "
-             "compaction)",
+             "compaction, net)",
     )
     events_p.add_argument(
         "--kind", default=None,
@@ -571,10 +688,13 @@ def main(argv=None) -> int:
         "compaction",
         help="measure write/space/read amplification per consolidation "
              "policy and check the B-tree-vs-LSM WA crossover",
-    )
-    compaction_p.add_argument(
-        "--quick", action="store_true",
-        help="smaller corpus (the CI compaction-smoke profile)",
+        parents=[shared_options(
+            seed=7,
+            seed_help="workload seed (default: 7)",
+            out=None,
+            out_help="artifact directory (default: benchmarks/results)",
+            quick_help="smaller corpus (the CI compaction-smoke profile)",
+        )],
     )
     compaction_p.add_argument(
         "--policy", action="append", default=None,
@@ -582,25 +702,17 @@ def main(argv=None) -> int:
         help="run only this policy (repeatable; default: all three, "
              "which also enables the crossover check)",
     )
-    compaction_p.add_argument(
-        "--out", default=None, metavar="DIR",
-        help="artifact directory (default: benchmarks/results)",
-    )
-    compaction_p.add_argument(
-        "--seed", type=int, default=7,
-        help="workload seed (default: 7)",
-    )
     dash_p = sub.add_parser(
         "dash",
         help="run an observed scenario with a live terminal dashboard",
+        parents=[shared_options(
+            seed=None,
+            seed_help="scenario seed (default: the scenario's pinned seed)",
+        )],
     )
     dash_p.add_argument(
         "scenario", choices=("sysbench", "chaos", "cluster", "raft"),
         help="which observed scenario to run",
-    )
-    dash_p.add_argument(
-        "--seed", type=int, default=None,
-        help="scenario seed (default: the scenario's pinned seed)",
     )
     dash_p.add_argument(
         "--full", action="store_true",
@@ -621,6 +733,85 @@ def main(argv=None) -> int:
         help="write the static self-contained HTML report here at "
              "run end",
     )
+    serve_p = sub.add_parser(
+        "serve",
+        help="host a PolarStore deployment on a TCP socket "
+             "(repro.net wire protocol); runs until interrupted",
+        parents=[shared_options(
+            seed=0,
+            seed_help="storage seed of the hosted volume (default: 0)",
+        )],
+    )
+    serve_p.add_argument(
+        "--host", default=None,
+        help="bind address (default: config net.host, 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port; 0 picks an ephemeral one "
+             "(default: config net.port, 7411)",
+    )
+    serve_p.add_argument(
+        "--window", type=int, default=64,
+        help="admission window: simulated in-flight ops beyond this "
+             "are rejected, not queued (default: 64)",
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=0,
+        help="host a sharded cluster runtime instead of a single "
+             "volume (default: 0 = single volume)",
+    )
+    serve_p.add_argument(
+        "--no-engine", action="store_true",
+        help="serve the analytic synchronous path (no event kernel, "
+             "no pipelining, no admission control)",
+    )
+    load_p = sub.add_parser(
+        "load",
+        help="drive a seeded open-loop arrival process through the "
+             "socket serving layer and report latency/rejection SLOs",
+        parents=[shared_options(
+            seed=0,
+            seed_help="arrival-process and workload seed (default: 0)",
+            out=None,
+            out_help="write the JSON artifact here (its 'sim' half is "
+                     "byte-identical across runs of the same spec)",
+            out_metavar="PATH",
+            quick_help="cap the run at 300 requests (CI smoke profile)",
+        )],
+    )
+    load_p.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="server to drive (default: spin up a loopback server "
+             "in-process for the run)",
+    )
+    load_p.add_argument(
+        "--arrival", choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="arrival process shape (default: poisson)",
+    )
+    load_p.add_argument(
+        "--rate", type=float, default=20_000.0,
+        help="mean offered load in requests per simulated second "
+             "(default: 20000)",
+    )
+    load_p.add_argument(
+        "--requests", type=int, default=1200,
+        help="total requests in the schedule (default: 1200)",
+    )
+    load_p.add_argument(
+        "--keys", type=int, default=512,
+        help="preloaded keyspace size (default: 512)",
+    )
+    load_p.add_argument(
+        "--window", type=int, default=64,
+        help="loopback server admission window (default: 64; ignored "
+             "with --addr)",
+    )
+    load_p.add_argument(
+        "--timeout-s", type=float, default=60.0,
+        help="per-request wall-clock timeout (default: 60)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
@@ -634,6 +825,8 @@ def main(argv=None) -> int:
         "events": cmd_events,
         "compaction": cmd_compaction,
         "dash": cmd_dash,
+        "serve": cmd_serve,
+        "load": cmd_load,
     }
     if args.command is None:
         parser.print_help()

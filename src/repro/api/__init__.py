@@ -1,9 +1,12 @@
 """repro.api — the unified client facade over the reproduction stack.
 
-``PolarStore.open(config)`` is the single front door; everything else
-here is the typed configuration tree it consumes and the config-driven
-constructors it delegates to.  Legacy constructor-plumbing entry points
-live on in :mod:`repro.api.legacy` as deprecation shims.
+``PolarStore.open(config)`` is the in-process front door and
+``PolarStore.connect(addr)`` the network one; both return the same
+:class:`PolarStoreClient` riding on a :class:`Transport` (local
+execution or the ``repro.net`` wire protocol).  Everything else here is
+the typed configuration tree they consume and the config-driven
+constructors they delegate to.  Legacy constructor-plumbing entry
+points live on in :mod:`repro.api.legacy` as deprecation shims.
 """
 
 from repro.api.client import PolarStore, PolarStoreClient
@@ -13,12 +16,22 @@ from repro.api.config import (
     DbSection,
     DeviceSection,
     EngineSection,
+    NetSection,
     PerfConfig,
     ReproConfig,
     StoreSection,
     resolve_spec,
 )
 from repro.api.factory import build_cluster, build_db, build_store
+from repro.api.transport import (
+    TRANSPORT_OPS,
+    AdmissionError,
+    LocalTransport,
+    Transport,
+    TransportCapabilityError,
+    TransportError,
+    TransportTimeout,
+)
 
 __all__ = [
     "PolarStore",
@@ -30,9 +43,17 @@ __all__ = [
     "DbSection",
     "ClusterSection",
     "ConsolidationConfig",
+    "NetSection",
     "PerfConfig",
     "resolve_spec",
     "build_store",
     "build_db",
     "build_cluster",
+    "Transport",
+    "LocalTransport",
+    "TransportError",
+    "TransportCapabilityError",
+    "AdmissionError",
+    "TransportTimeout",
+    "TRANSPORT_OPS",
 ]

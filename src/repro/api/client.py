@@ -1,23 +1,34 @@
 """The unified PolarStore client facade.
 
-:meth:`PolarStore.open` is the single front door to the reproduction:
-it takes one :class:`~repro.api.config.ReproConfig` (or the equivalent
-nested dict) and returns a typed :class:`PolarStoreClient` whose
-``insert``/``select``/... methods hide three historical seams:
+:meth:`PolarStore.open` is the in-process front door: it takes one
+:class:`~repro.api.config.ReproConfig` (or the equivalent nested dict)
+and returns a typed :class:`PolarStoreClient`.  :meth:`PolarStore
+.connect` is the *network* front door: it dials a ``repro.net`` server
+and returns the same client type.  Both ride the transport boundary
+(:mod:`repro.api.transport`): the client's ``insert``/``select``/...
+methods are thin typed wrappers over ``transport.call``, so the three
+historical seams stay hidden regardless of where the engine runs:
 
 * **time threading** — the legacy entry points take ``now_us`` and
-  return completion times the caller must loop back in; the client keeps
-  the simulated-time cursor itself (read it via :attr:`PolarStoreClient
-  .now_us`);
-* **sync vs ``_proc`` dispatch** — with ``engine.enabled`` the client
-  routes every operation through the engine-native generator path
-  (statement CPU queues on core pools, redo coalesces in group commit);
-  without it the analytic synchronous path runs.  Same method, same
-  result type, identical single-client timings (tested to equality);
+  return completion times the caller must loop back in; the transport
+  keeps the simulated-time cursor itself (read it via
+  :attr:`PolarStoreClient.now_us`);
+* **sync vs ``_proc`` dispatch** — with ``engine.enabled`` every
+  operation routes through the engine-native generator path (statement
+  CPU queues on core pools, redo coalesces in group commit); without it
+  the analytic synchronous path runs.  Same method, same result type,
+  identical single-client timings (tested to equality);
 * **single volume vs sharded cluster** — with ``cluster.shards >= 2``
   the same methods route by key range across a
   :class:`~repro.cluster.runtime.ClusterRuntime` of real replica groups,
-  and :meth:`PolarStoreClient.rebalance` drives live migration.
+  and :meth:`PolarStoreClient.rebalance` drives live migration;
+* **local vs remote** — ``open`` binds a
+  :class:`~repro.api.transport.LocalTransport`; ``connect`` binds a
+  :class:`~repro.net.client.SocketTransport` over the wire protocol.
+  Results carry identical payload bytes and simulated timings (golden-
+  tested); operations that need in-process access raise
+  :class:`~repro.api.transport.TransportCapabilityError` on a remote
+  client.
 """
 
 from __future__ import annotations
@@ -25,168 +36,132 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.config import ReproConfig
-from repro.api.factory import build_cluster, build_db
+from repro.api.transport import LocalTransport, Transport
 from repro.common.errors import ReproError
 
 
 class PolarStoreClient:
-    """A typed handle over one opened PolarStore deployment."""
+    """A typed handle over one opened (or connected) PolarStore
+    deployment; all dispatch flows through its :class:`Transport`."""
 
-    def __init__(self, config: ReproConfig) -> None:
-        self.config = config.validate()
-        self._now_us = 0.0
-        self._sharded = config.cluster.shards >= 2
-        if self._sharded:
-            self.runtime = build_cluster(config)
-            self.db = None
-            self._engine = self.runtime.engine
-        else:
-            self.runtime = None
-            self.db = build_db(config)
-            self._engine = None
-            if config.engine.enabled:
-                from repro.engine import Engine
-
-                self._engine = Engine()
-                self.db.bind_engine(
-                    self._engine,
-                    group_commit_window_us=(
-                        config.engine.group_commit_window_us
-                    ),
-                    qd=config.engine.qd,
-                    defer_gc=config.engine.defer_gc,
-                )
+    def __init__(
+        self,
+        config: Optional[ReproConfig] = None,
+        *,
+        transport: Optional[Transport] = None,
+    ) -> None:
+        if (config is None) == (transport is None):
+            raise ReproError(
+                "PolarStoreClient needs exactly one of a ReproConfig "
+                "(in-process) or a Transport instance"
+            )
+        if transport is None:
+            transport = LocalTransport(config)
+        self._transport = transport
 
     # -- introspection -----------------------------------------------------
 
     @property
+    def transport(self) -> Transport:
+        """The bound transport (``.kind`` is ``"local"`` or ``"socket"``)."""
+        return self._transport
+
+    @property
+    def config(self):
+        """The deployment config (local transports only)."""
+        return self._transport.config
+
+    @property
     def now_us(self) -> float:
         """The client's simulated-time cursor."""
-        if self._engine is not None:
-            return max(self._now_us, self._engine.now_us)
-        return self._now_us
+        return self._transport.now_us
 
     @property
     def engine(self):
-        """The bound event kernel (None in plain synchronous mode)."""
-        return self._engine
+        """The bound event kernel (None in plain synchronous mode;
+        in-process access required)."""
+        return self._transport.engine
 
     @property
     def sharded(self) -> bool:
-        return self._sharded
+        return self._transport.sharded
+
+    @property
+    def db(self):
+        """The PolarDB handle (in-process access required)."""
+        return self._transport.db
+
+    @property
+    def runtime(self):
+        """The ClusterRuntime (in-process, sharded mode only)."""
+        return self._transport.runtime
 
     @property
     def metrics(self):
-        """Cluster-level registry when sharded, volume-wide otherwise."""
-        if self._sharded:
-            return self.runtime.metrics
-        return self.db.metrics
+        """Cluster-level registry when sharded, volume-wide otherwise
+        (in-process access required)."""
+        return self._transport.metrics
 
     @property
     def store(self):
-        """The single underlying volume (single-volume mode only)."""
-        if self._sharded:
-            raise ReproError(
-                "a sharded client has no single volume; use .runtime"
-            )
-        return self.db.store
+        """The single underlying volume (in-process, single-volume
+        mode only)."""
+        return self._transport.store
 
     def advance_to(self, now_us: float) -> float:
         """Move the simulated-time cursor forward (never backward)."""
-        self._now_us = max(self._now_us, now_us)
-        if self._engine is not None:
-            self._engine.advance_to(self._now_us)
-        return self.now_us
-
-    # -- dispatch ----------------------------------------------------------
-
-    def _backend(self):
-        return self.runtime if self._sharded else self.db
-
-    def _call(self, op: str, *args, **kwargs):
-        """Route one operation sync-vs-proc based on engine binding."""
-        backend = self._backend()
-        if self._engine is not None:
-            self._engine.advance_to(self._now_us)
-            result = self._engine.run(
-                getattr(backend, op + "_proc")(*args, **kwargs)
-            )
-            self._now_us = max(self._now_us, self._engine.now_us)
-        else:
-            result = getattr(backend, op)(self._now_us, *args, **kwargs)
-            done = getattr(result, "done_us", result)
-            self._now_us = max(self._now_us, float(done))
-        return result
+        return self._transport.advance_to(now_us)
 
     # -- DDL / DML ---------------------------------------------------------
 
     def create_table(self, name: str) -> None:
-        self._backend().create_table(name)
+        self._transport.call("create_table", name)
 
     def insert(self, table: str, key: int, value: bytes):
-        return self._call("insert", table, key, value)
+        return self._transport.call("insert", table, key, value)
 
     def update(self, table: str, key: int, value: bytes):
-        return self._call("update", table, key, value)
+        return self._transport.call("update", table, key, value)
 
     def delete(self, table: str, key: int):
-        return self._call("delete", table, key)
+        return self._transport.call("delete", table, key)
 
     def select(self, table: str, key: int, ro_index: int = -1):
-        if self._sharded:
-            return self._call("select", table, key)
-        return self._call("select", table, key, ro_index=ro_index)
+        return self._transport.call("select", table, key, ro_index=ro_index)
 
     def range_select(self, table: str, low: int, high: int):
-        return self._call("range_select", table, low, high)
+        return self._transport.call("range_select", table, low, high)
 
     def bulk_load(
         self, table: str, rows: Iterable[Tuple[int, bytes]]
     ) -> float:
-        backend = self._backend()
-        if self._engine is not None:
-            self._engine.advance_to(self._now_us)
-        done = backend.bulk_load(self.now_us, table, list(rows))
-        self._now_us = max(self._now_us, done)
-        return done
+        return self._transport.call("bulk_load", table, list(rows))
 
     def checkpoint(self) -> float:
-        done = self._backend().checkpoint(self.now_us)
-        self._now_us = max(self._now_us, done)
-        return done
+        return self._transport.call("checkpoint")
 
     # -- volume-level page I/O (single-volume mode) ------------------------
 
     def write_page(self, page_no: int, data: bytes, **kwargs):
-        committed = self.store.write_page(
-            self.now_us, page_no, data, **kwargs
-        )
-        self._now_us = max(self._now_us, committed.commit_us)
-        return committed
+        return self._transport.call("write_page", page_no, data, **kwargs)
 
     def read_page(self, page_no: int):
-        result = self.store.read_page(self.now_us, page_no)
-        self._now_us = max(self._now_us, result.done_us)
-        return result
+        return self._transport.call("read_page", page_no)
 
     def archive_range(self, page_nos: List[int]) -> float:
-        done = self.store.archive_range(self.now_us, list(page_nos))
-        self._now_us = max(self._now_us, done)
-        return done
+        return self._transport.call("archive_range", list(page_nos))
 
     def scrub(self) -> float:
-        done = self.store.scrub(self.now_us)
-        self._now_us = max(self._now_us, done)
-        return done
+        return self._transport.call("scrub")
 
     # -- cluster operations (sharded mode) ---------------------------------
 
     def _require_sharded(self):
-        if not self._sharded:
+        if not self._transport.sharded:
             raise ReproError(
                 "cluster operations need cluster.shards >= 2 in the config"
             )
-        return self.runtime
+        return self._transport.runtime
 
     def rebalance(self, scheduler=None):
         """Run the zone scheduler and execute its plan as live migration
@@ -205,62 +180,59 @@ class PolarStoreClient:
         """Adopt an external event kernel (what ``run_sysbench`` does).
 
         A sharded client is born on its runtime's kernel and cannot move;
-        passing that same kernel is a no-op."""
-        if self._sharded:
-            if engine is not self.runtime.engine:
-                raise ReproError(
-                    "a sharded client is bound to its runtime's engine; "
-                    "pass engine=client.engine to the workload driver"
-                )
-            return
-        self._engine = engine
-        self.db.bind_engine(engine, **kwargs)
+        passing that same kernel is a no-op.  In-process access required.
+        """
+        transport = self._transport
+        adopt = getattr(transport, "adopt_engine", None)
+        if adopt is None:
+            raise transport._no_capability("binding an event kernel")
+        adopt(engine, **kwargs)
+
+    def _proc(self, op: str, *args, **kwargs):
+        transport = self._transport
+        proc = getattr(transport, "proc", None)
+        if proc is None:
+            raise transport._no_capability("engine-native op generators")
+        return proc(op, *args, **kwargs)
 
     def insert_proc(self, table: str, key: int, value: bytes):
-        return self._backend().insert_proc(table, key, value)
+        return self._proc("insert", table, key, value)
 
     def update_proc(self, table: str, key: int, value: bytes):
-        return self._backend().update_proc(table, key, value)
+        return self._proc("update", table, key, value)
 
     def delete_proc(self, table: str, key: int):
-        return self._backend().delete_proc(table, key)
+        return self._proc("delete", table, key)
 
     def select_proc(self, table: str, key: int, ro_index: int = -1):
-        if self._sharded:
-            return self.runtime.select_proc(table, key)
-        return self.db.select_proc(table, key, ro_index=ro_index)
+        if self._transport.sharded:
+            return self._proc("select", table, key)
+        return self._proc("select", table, key, ro_index=ro_index)
 
     def range_select_proc(self, table: str, low: int, high: int):
-        return self._backend().range_select_proc(table, low, high)
+        return self._proc("range_select", table, low, high)
 
     # -- space -------------------------------------------------------------
 
     def compression_ratio(self) -> float:
-        if self._sharded:
-            return self.runtime.compression_ratio()
-        return self.db.compression_ratio()
+        return self._transport.call("compression_ratio")
 
     @property
     def logical_bytes(self) -> int:
-        if self._sharded:
-            return sum(s.logical_used for s in self.runtime.shards)
-        return self.db.logical_bytes
+        return self._transport.call("space")[0]
 
     @property
     def physical_bytes(self) -> int:
-        if self._sharded:
-            return sum(s.physical_used for s in self.runtime.shards)
-        return self.db.physical_bytes
+        return self._transport.call("space")[1]
 
     def close(self) -> None:
-        """Release backend references (idempotent)."""
-        self.db = None
-        self.runtime = None
-        self._engine = None
+        """Release the transport (idempotent)."""
+        self._transport.close()
 
 
 class PolarStore:
-    """The unified entry point: ``PolarStore.open(config)``.
+    """The unified entry point: ``PolarStore.open(config)`` in-process,
+    ``PolarStore.connect(addr)`` over the wire.
 
     (Distinct from :class:`repro.storage.store.PolarStore`, the
     storage-layer volume this facade fronts — see MIGRATION.md.)
@@ -269,8 +241,9 @@ class PolarStore:
     def __init__(self, *_args, **_kwargs) -> None:
         raise TypeError(
             "repro.api.PolarStore is not instantiated directly; call "
-            "PolarStore.open(config) for a client handle, or use "
-            "repro.storage.store.PolarStore for a raw volume"
+            "PolarStore.open(config) or PolarStore.connect(addr) for a "
+            "client handle, or use repro.storage.store.PolarStore for a "
+            "raw volume"
         )
 
     @classmethod
@@ -279,7 +252,7 @@ class PolarStore:
         config: Optional[Union[ReproConfig, dict]] = None,
         **sections,
     ) -> PolarStoreClient:
-        """Open a deployment described by ``config``.
+        """Open an in-process deployment described by ``config``.
 
         ``config`` may be a :class:`ReproConfig`, a nested dict in the
         same shape, or omitted entirely with sections given as keyword
@@ -305,3 +278,34 @@ class PolarStore:
                 f"got {type(config).__name__}"
             )
         return PolarStoreClient(config)
+
+    @classmethod
+    def connect(
+        cls,
+        addr: Union[str, Tuple[str, int]],
+        *,
+        connections: int = 2,
+        max_inflight: int = 256,
+        queue_cap: int = 4096,
+        timeout_s: float = 30.0,
+    ) -> PolarStoreClient:
+        """Connect to a ``python -m repro serve`` deployment.
+
+        ``addr`` is ``"host:port"`` or a ``(host, port)`` tuple.  The
+        returned client presents the identical surface as ``open`` —
+        same ops, same result shapes, same simulated timings — over a
+        pooled socket transport with a bounded in-flight window
+        (``max_inflight``), a backpressure queue (``queue_cap``, full
+        queue rejects), and per-request wall-clock ``timeout_s``.
+        """
+        from repro.net.client import SocketTransport
+
+        return PolarStoreClient(
+            transport=SocketTransport(
+                addr,
+                connections=connections,
+                max_inflight=max_inflight,
+                queue_cap=queue_cap,
+                timeout_s=timeout_s,
+            )
+        )

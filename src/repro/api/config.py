@@ -156,6 +156,26 @@ class PerfConfig:
 
 
 @dataclass
+class NetSection:
+    """Serving layer (``repro.net``): the socket server front-end.
+
+    Consumed by ``python -m repro serve`` and
+    :class:`repro.net.server.PolarStoreServer`; irrelevant (and
+    harmless) for purely in-process deployments.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7411
+    #: Server-side admission window: ops in flight *in simulated time*
+    #: beyond this are rejected, not queued (open-loop load shedding).
+    #: Evaluated at simulated arrival instants, so rejection decisions
+    #: are deterministic for a seeded request stream.
+    window: int = 64
+    #: Largest frame the server will accept (0 keeps the protocol cap).
+    max_frame_bytes: int = 0
+
+
+@dataclass
 class ReproConfig:
     """The full configuration tree."""
 
@@ -165,6 +185,7 @@ class ReproConfig:
     db: DbSection = field(default_factory=DbSection)
     cluster: ClusterSection = field(default_factory=ClusterSection)
     perf: PerfConfig = field(default_factory=PerfConfig)
+    net: NetSection = field(default_factory=NetSection)
     #: Evicted-redo organization (single-level/leveled/tiered) plus the
     #: background consolidation/scrub cadence and compaction throttle.
     consolidation: ConsolidationConfig = field(
@@ -197,6 +218,12 @@ class ReproConfig:
             )
         if self.engine.group_commit_window_us < 0:
             raise ValueError("engine.group_commit_window_us cannot be negative")
+        if self.net.window < 1:
+            raise ValueError("net.window must be at least 1")
+        if not 0 < self.net.port < 65536:
+            raise ValueError("net.port must be in [1, 65535]")
+        if self.net.max_frame_bytes < 0:
+            raise ValueError("net.max_frame_bytes cannot be negative")
         if self.perf.pool_kind not in ("process", "thread", "serial"):
             raise ValueError(
                 "perf.pool_kind must be 'process', 'thread', or 'serial'"

@@ -8,8 +8,18 @@ write path (group commit + pipelined replica fan-out), DB nodes, and
 the sysbench driver all run as processes on one shared engine, so
 thread scaling and saturation crossovers (Figs 12/13/15) emerge from
 real queueing rather than analytic arithmetic.
+
+:mod:`repro.engine.bridge` adds the serving-layer seam: a
+:class:`WallClockBridge` that maps wall-clock request arrival onto
+simulated time with a bounded, deterministically-evaluated admission
+window (the ``repro.net`` server runs on it).
 """
 
+from repro.engine.bridge import (
+    BridgeCompletion,
+    BridgeDecision,
+    WallClockBridge,
+)
 from repro.engine.core import (
     Engine,
     EngineError,
@@ -21,6 +31,8 @@ from repro.engine.core import (
 from repro.engine.resources import Queue, Resource, ResourcePool
 
 __all__ = [
+    "BridgeCompletion",
+    "BridgeDecision",
     "Engine",
     "EngineError",
     "Event",
@@ -30,4 +42,5 @@ __all__ = [
     "ResourcePool",
     "SleepUntil",
     "Timeout",
+    "WallClockBridge",
 ]

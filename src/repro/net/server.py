@@ -1,0 +1,490 @@
+"""The PolarStore socket server: one engine-bound deployment, framed.
+
+:class:`PolarStoreServer` hosts a :class:`~repro.api.transport
+.LocalTransport` (a real store or sharded cluster, engine-bound when
+``engine.enabled``) behind the :mod:`repro.net.protocol` wire format on
+an asyncio TCP front-end.  The design problem is determinism: sockets
+deliver requests in wall-clock order, but the reproduction's value is
+that simulated outcomes are a pure function of the seeded workload.
+Three mechanisms restore that property:
+
+* **per-session sequencing** — data ops carry a client-assigned ``seq``
+  and are executed in exactly that order via a reorder buffer, no
+  matter how frames interleave across a pool's connections;
+* **client-stamped simulated arrivals** — each op is bridged onto the
+  engine at its ``arrival_us`` through a
+  :class:`~repro.engine.bridge.WallClockBridge`, which drains earlier
+  work first and evaluates the admission window at the simulated
+  arrival instant;
+* **open- vs closed-loop split** — a ``FLAG_SYNC`` op runs the engine
+  until it completes and replies immediately (byte-for-byte the
+  ``LocalTransport`` semantics, which the golden equivalence test
+  checks); a pipelined op replies whenever a later arrival or an
+  explicit ``flush`` drains the engine past its completion.
+
+Wall-clock jitter therefore changes only *when* reply frames leave,
+never their simulated timings or payload bytes.
+
+Everything runs on one asyncio loop, so request processing is
+serialized without locks.  :func:`serve_in_thread` wraps the server in
+a background thread for tests and in-process tooling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.config import ReproConfig
+from repro.api.transport import LocalTransport
+from repro.engine.bridge import BridgeCompletion, WallClockBridge
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    VERSION,
+    FrameDecoder,
+    FrameError,
+    ProtocolError,
+    Request,
+    Response,
+    decode_message,
+)
+
+
+class _Session:
+    """Per-session reorder buffer: data ops execute in ``seq`` order."""
+
+    __slots__ = ("sid", "next_seq", "pending")
+
+    def __init__(self, sid: int) -> None:
+        self.sid = sid
+        self.next_seq = 0
+        #: seq -> (request, writer) parked until its turn comes.
+        self.pending: Dict[int, Tuple[Request, asyncio.StreamWriter]] = {}
+
+
+class PolarStoreServer:
+    """One PolarStore deployment served over TCP.
+
+    ``config.net`` supplies the bind address, the bridge admission
+    window, and the frame-size ceiling.  With ``engine.enabled`` the
+    server runs open-loop through a :class:`WallClockBridge`; without
+    an engine every op (pipelined or not) executes synchronously — the
+    analytic path has no overlap to model.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ReproConfig] = None,
+        *,
+        registry=None,
+    ) -> None:
+        self.config = config or ReproConfig()
+        self.transport = LocalTransport(self.config)
+        self.registry = (
+            registry if registry is not None else self.transport.metrics
+        )
+        engine = self.transport.engine
+        self.bridge: Optional[WallClockBridge] = None
+        if engine is not None:
+            self.bridge = WallClockBridge(
+                engine,
+                window=self.config.net.window,
+                registry=self.registry,
+            )
+        self._max_frame = (
+            self.config.net.max_frame_bytes or MAX_FRAME_BYTES
+        )
+        self._sessions: Dict[int, _Session] = {}
+        self._next_token = 0
+        #: bridge token -> (writer, request) awaiting completion reply.
+        self._inflight: Dict[int, Tuple[asyncio.StreamWriter, Request]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.addr: Optional[Tuple[str, int]] = None
+        self._requests = self.registry.counter("net.server.requests")
+        self._replies = self.registry.counter("net.server.replies")
+        self._frame_errors = self.registry.counter("net.server.frame_errors")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(
+        self, host: Optional[str] = None, port: Optional[int] = None
+    ) -> Tuple[str, int]:
+        """Bind and listen; returns the actual (host, port) — pass
+        ``port=0`` for an ephemeral port."""
+        host = host if host is not None else self.config.net.host
+        port = port if port is not None else self.config.net.port
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sock = self._server.sockets[0]
+        self.addr = sock.getsockname()[:2]
+        return self.addr
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(self._max_frame)
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    break
+                try:
+                    payloads = decoder.feed(data)
+                except FrameError:
+                    # A stream that lost framing cannot resync; drop it.
+                    self._frame_errors.inc()
+                    break
+                for payload in payloads:
+                    try:
+                        message = decode_message(payload)
+                    except ProtocolError as exc:
+                        await self._reply_malformed(writer, payload, exc)
+                        continue
+                    if not isinstance(message, Request):
+                        continue  # a response frame to a server is noise
+                    self._requests.inc()
+                    await self._route(message, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _reply_malformed(
+        self, writer: asyncio.StreamWriter, payload: Any, exc: Exception
+    ) -> None:
+        """Structurally valid frame, semantically broken request: reply
+        per-request if an id is recoverable, else ignore."""
+        req_id = payload.get("id") if isinstance(payload, dict) else None
+        if isinstance(req_id, int):
+            await self._write(writer, Response(
+                id=req_id,
+                status=STATUS_ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+            ))
+
+    # -- sequencing --------------------------------------------------------
+
+    async def _route(
+        self, req: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        if req.spec.control:
+            await self._process_control(req, writer)
+            return
+        session = self._sessions.get(req.session)
+        if session is None:
+            session = self._sessions[req.session] = _Session(req.session)
+        if req.seq != session.next_seq:
+            if req.seq < session.next_seq or req.seq in session.pending:
+                await self._write(writer, Response(
+                    id=req.id,
+                    status=STATUS_ERROR,
+                    error=(
+                        f"sequence violation: seq {req.seq} vs "
+                        f"expected {session.next_seq}"
+                    ),
+                ))
+                return
+            session.pending[req.seq] = (req, writer)
+            return
+        await self._process(req, writer)
+        session.next_seq += 1
+        while session.next_seq in session.pending:
+            queued, queued_writer = session.pending.pop(session.next_seq)
+            await self._process(queued, queued_writer)
+            session.next_seq += 1
+
+    # -- control ops -------------------------------------------------------
+
+    async def _process_control(
+        self, req: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        now = self.transport.now_us
+        if req.op == "hello":
+            session_id, client_version = req.args
+            if client_version != VERSION:
+                await self._write(writer, Response(
+                    id=req.id,
+                    status=STATUS_ERROR,
+                    error=(
+                        f"protocol version mismatch: client {client_version}"
+                        f", server {VERSION}"
+                    ),
+                ))
+                return
+            if session_id not in self._sessions:
+                self._sessions[session_id] = _Session(session_id)
+            await self._write(writer, Response(
+                id=req.id,
+                kind="hello",
+                value={
+                    "session": session_id,
+                    "version": VERSION,
+                    "sharded": self.transport.sharded,
+                    "engine": self.transport.engine is not None,
+                    "window": (
+                        self.bridge.window if self.bridge is not None else 0
+                    ),
+                },
+                done_us=now,
+            ))
+        elif req.op == "ping":
+            await self._write(writer, Response(
+                id=req.id, kind="time", value=now, done_us=now,
+            ))
+        elif req.op == "stats":
+            bridge = self.bridge
+            await self._write(writer, Response(
+                id=req.id,
+                kind="stats",
+                value={
+                    "now_us": now,
+                    "sessions": len(self._sessions),
+                    "admitted": bridge.admitted if bridge else 0,
+                    "rejected": bridge.rejected if bridge else 0,
+                    "completed": bridge.completed if bridge else 0,
+                    "queue_depth": bridge.queue_depth if bridge else 0,
+                    "window": bridge.window if bridge else 0,
+                },
+                done_us=now,
+            ))
+
+    # -- data ops ----------------------------------------------------------
+
+    async def _process(
+        self, req: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        if req.op == "flush":
+            if self.bridge is not None:
+                await self._send_completions(self.bridge.flush())
+            now = self.transport.now_us
+            await self._write(writer, Response(
+                id=req.id, kind="time", value=now,
+                done_us=now, arrival_us=req.arrival_us,
+            ))
+            return
+        # Time never flows backward: a session whose stamps lag another
+        # session's progress is clamped to engine-now (single-session
+        # streams, the deterministic case, are never clamped).
+        arrival = max(req.arrival_us, self.transport.now_us)
+        if self.bridge is None or req.sync or req.spec.sync_only:
+            await self._process_sync(req, writer, arrival)
+            return
+        token = self._next_token
+        self._next_token += 1
+        decision = self.bridge.submit(
+            token, arrival, self._gen_factory(req.op, req.args)
+        )
+        await self._send_completions(decision.completions)
+        if not decision.admitted:
+            await self._write(writer, Response(
+                id=req.id,
+                status=STATUS_REJECTED,
+                queue_depth=decision.queue_depth,
+                arrival_us=arrival,
+                done_us=arrival,
+            ))
+        else:
+            self._inflight[token] = (writer, req)
+
+    async def _process_sync(
+        self, req: Request, writer: asyncio.StreamWriter, arrival: float
+    ) -> None:
+        """Closed-loop path: run the op to completion at its arrival and
+        reply immediately — exactly what a LocalTransport call does."""
+        if self.bridge is not None:
+            await self._send_completions(self.bridge.drain_to(arrival))
+        self.transport.advance_to(arrival)
+        try:
+            result = self.transport.call(
+                req.op, *self._call_args(req.op, req.args)
+            )
+        except Exception as exc:  # noqa: BLE001 - delivered per-request
+            await self._write(writer, Response(
+                id=req.id,
+                status=STATUS_ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+                done_us=self.transport.now_us,
+                arrival_us=arrival,
+            ))
+            return
+        kind, value, done_us, io_reads, redo_bytes = _encode_result(
+            req.op, result, self.transport.now_us
+        )
+        await self._write(writer, Response(
+            id=req.id,
+            status=STATUS_OK,
+            kind=kind,
+            value=value,
+            done_us=done_us,
+            arrival_us=arrival,
+            io_reads=io_reads,
+            redo_bytes=redo_bytes,
+        ))
+
+    def _call_args(self, op: str, args: List[Any]) -> List[Any]:
+        """Wire args -> LocalTransport.call positional args."""
+        if op == "bulk_load":
+            table, rows = args
+            return [table, [(key, bytes(value)) for key, value in rows]]
+        if op == "archive_range":
+            return [list(args[0])]
+        return list(args)
+
+    def _gen_factory(self, op: str, args: List[Any]):
+        """Build the thunk the bridge spawns — mirrors the client-side
+        ``*_proc`` dispatch (sharded select drops ro_index)."""
+        transport = self.transport
+        if op == "select":
+            table, key, ro_index = args
+            if transport.sharded:
+                return lambda: transport.proc("select", table, key)
+            return lambda: transport.proc(
+                "select", table, key, ro_index=ro_index
+            )
+        frozen = list(args)
+        return lambda: transport.proc(op, *frozen)
+
+    async def _send_completions(
+        self, completions: List[BridgeCompletion]
+    ) -> None:
+        for completion in completions:
+            entry = self._inflight.pop(completion.token, None)
+            if entry is None:
+                continue
+            writer, req = entry
+            if completion.ok:
+                kind, value, _, io_reads, redo_bytes = _encode_result(
+                    req.op, completion.result, completion.done_us
+                )
+                response = Response(
+                    id=req.id,
+                    status=STATUS_OK,
+                    kind=kind,
+                    value=value,
+                    done_us=completion.done_us,
+                    arrival_us=completion.arrival_us,
+                    io_reads=io_reads,
+                    redo_bytes=redo_bytes,
+                    queue_depth=completion.depth_at_admit,
+                )
+            else:
+                exc = completion.error
+                response = Response(
+                    id=req.id,
+                    status=STATUS_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    done_us=completion.done_us,
+                    arrival_us=completion.arrival_us,
+                    queue_depth=completion.depth_at_admit,
+                )
+            await self._write(writer, response)
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        """Frame and send one reply; a dead peer just drops it (its
+        client-side futures fail on disconnect)."""
+        if writer.is_closing():
+            return
+        try:
+            writer.write(response.encode())
+            await writer.drain()
+            self._replies.inc()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _encode_result(
+    op: str, result: Any, now_us: float
+) -> Tuple[str, Any, float, int, int]:
+    """Map one LocalTransport result object onto (kind, wire value,
+    done_us, io_reads, redo_bytes)."""
+    if op in ("insert", "update", "delete", "select", "range_select"):
+        return ("op", result.value, result.done_us,
+                result.io_reads, result.redo_bytes)
+    if op in ("bulk_load", "checkpoint", "archive_range", "scrub"):
+        return ("time", float(result), float(result), 0, 0)
+    if op == "write_page":
+        return ("commit", None, result.commit_us, 0, 0)
+    if op == "read_page":
+        return (
+            "read",
+            {"data": result.data, "cpu_us": result.cpu_us,
+             "consolidated": result.consolidated},
+            result.done_us,
+            result.io_reads,
+            0,
+        )
+    if op == "compression_ratio":
+        return ("ratio", float(result), now_us, 0, 0)
+    if op == "space":
+        return ("space", [int(result[0]), int(result[1])], now_us, 0, 0)
+    return ("none", None, now_us, 0, 0)  # create_table
+
+
+class ServerThread:
+    """A server running on its own asyncio loop in a daemon thread."""
+
+    def __init__(self, server: PolarStoreServer) -> None:
+        self.server = server
+        self.addr: Optional[Tuple[str, int]] = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-net-serve", daemon=True
+        )
+
+    def start(
+        self, host: Optional[str] = None, port: Optional[int] = None
+    ) -> Tuple[str, int]:
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.start(host, port), self._loop
+        )
+        self.addr = future.result(timeout=10.0)
+        return self.addr
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        ).result(timeout=10.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+
+def serve_in_thread(
+    config: Optional[ReproConfig] = None,
+    *,
+    host: Optional[str] = None,
+    port: int = 0,
+    registry=None,
+) -> ServerThread:
+    """Start a server on a background thread; returns the running
+    :class:`ServerThread` with ``.addr`` bound (ephemeral by default)."""
+    handle = ServerThread(PolarStoreServer(config, registry=registry))
+    handle.start(host, port)
+    return handle
+
+
+__all__ = [
+    "PolarStoreServer",
+    "ServerThread",
+    "serve_in_thread",
+]

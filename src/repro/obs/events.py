@@ -56,6 +56,7 @@ CHANNELS = (
     "slo",        # SLO evaluator alerts/recoveries
     "election",   # consensus votes, term bumps, fences (consensus layer)
     "compaction", # consolidation-policy compaction tasks + deferred debt
+    "net",        # serving-layer admissions/rejections/completions
 )
 
 #: Binary dump magic (versioned; bump on format change).

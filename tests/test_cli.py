@@ -178,6 +178,48 @@ def test_events_requires_scenario_or_load(capsys):
     assert "required" in capsys.readouterr().err
 
 
+# -- serving layer ----------------------------------------------------------
+
+
+def test_load_quick_loopback_reports_percentiles(capsys):
+    assert main([
+        "load", "--quick", "--requests", "150", "--rate", "2000",
+        "--seed", "5",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "# loopback server on 127.0.0.1:" in captured.err
+    assert "load: poisson x150 @ 2000/s (seed 5) over socket" in captured.out
+    assert "completed 150" in captured.out
+    assert "p50" in captured.out and "p99" in captured.out
+    assert "SLO" in captured.out
+
+
+def test_load_artifact_sim_half_is_run_independent(tmp_path, capsys):
+    import json
+
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        assert main([
+            "load", "--quick", "--requests", "120", "--rate", "1000",
+            "--arrival", "bursty", "--out", str(path),
+        ]) == 0
+        capsys.readouterr()
+    a, b = (json.loads(p.read_text()) for p in paths)
+    assert set(a) == {"sim", "wall"}
+    assert a["sim"] == b["sim"]
+    assert json.dumps(a["sim"], sort_keys=True) == \
+        json.dumps(b["sim"], sort_keys=True)
+
+
+def test_serve_and_load_parsers_share_flag_shapes():
+    # The unified parent parser means --seed/--out/--quick parse the
+    # same way everywhere; spot-check the serving-layer commands.
+    with pytest.raises(SystemExit):
+        main(["load", "--arrival", "sawtooth"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--port", "not-a-port"])
+
+
 def test_dash_renders_frames_without_ansi(capsys):
     assert main([
         "dash", "chaos", "--seed", "42", "--no-ansi",
