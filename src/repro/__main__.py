@@ -79,7 +79,9 @@ Every command honours ``REPRO_PERF`` (``1``/``on`` for the default
 fast path, or ``pool=N,memo=MiB,kind=process|thread|serial``); unset
 or ``0`` runs the original serial code everywhere.  ``REPRO_OBS=1``
 activates a flight recorder for any command (``capacity=N,
-sample=io:8`` tunes it).
+sample=io:8`` tunes it).  ``REPRO_WORKERS=N`` is the default for every
+``--workers`` flag (``bench``, ``cluster``, ``perf``): N forked engine
+worker processes with byte-identical output.
 """
 
 from __future__ import annotations
@@ -278,11 +280,23 @@ def cmd_raft(args) -> int:
     return 0 if report.passed else 1
 
 
+def _resolved_workers(args) -> int:
+    """``--workers`` if given, else ``REPRO_WORKERS``, else 1 (serial)."""
+    from repro.engine.parallel import workers_from_env
+
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        return args.workers
+    return workers_from_env() or 1
+
+
 def cmd_bench(args) -> int:
     from repro.bench.figures import FIGURES
 
     runner = FIGURES[args.fig]
-    runner(out_dir=args.out, quick=args.quick)
+    runner(out_dir=args.out, quick=args.quick,
+           workers=_resolved_workers(args))
     return 0
 
 
@@ -300,6 +314,7 @@ def cmd_cluster(args) -> int:
         shards=args.shards,
         chunks=args.chunks,
         seed=args.seed,
+        workers=_resolved_workers(args),
     )
     aware = dict(zip(result.columns, result.rows[-1]))
     print(f"compression-aware: {aware['tasks']} tasks moved "
@@ -600,6 +615,12 @@ def main(argv=None) -> int:
         "--fig", choices=("12", "15"), required=True,
         help="which figure to profile (12: cluster sweep, 15: per-page log)",
     )
+    bench_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan independent figure cells across N engine worker "
+             "processes; byte-identical output (default: $REPRO_WORKERS, "
+             "else 1)",
+    )
     cluster_p = sub.add_parser(
         "cluster",
         help="run the sharded-runtime live-migration scenario (Fig 10/11)",
@@ -617,6 +638,12 @@ def main(argv=None) -> int:
         "--chunks", type=int, default=8,
         help="chunks to ingest before rebalancing (default: 8; the "
              "benchmark profile uses 16)",
+    )
+    cluster_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="host each fleet's replica groups in N per-shard engine "
+             "worker processes (epoch-barrier synchronized; byte-"
+             "identical output; default: $REPRO_WORKERS, else 1)",
     )
     sub.add_parser(
         "perf",

@@ -156,6 +156,28 @@ class PerfConfig:
 
 
 @dataclass
+class ParallelSection:
+    """Multi-core scale-out (``repro.engine.parallel``).
+
+    ``workers > 1`` makes cluster entry points host each replica group's
+    engine in a forked worker process behind the conservative
+    epoch-barrier synchronizer — proven byte-identical to serial by the
+    perf harness's third leg.  ``REPRO_WORKERS`` / ``--workers`` override
+    this section at the CLI.
+    """
+
+    #: Worker processes for parallel execution (1 = serial, in-process).
+    workers: int = 1
+    #: Conservative lookahead: a certified lower bound (simulated µs) on
+    #: the latency of any cross-shard storage write.  The coordinator
+    #: only dispatches events strictly below ``min(issue + lookahead)``
+    #: over outstanding remote calls; every completion is checked against
+    #: the bound, so an overstated floor fails loudly instead of
+    #: diverging.
+    lookahead_us: float = 8.0
+
+
+@dataclass
 class NetSection:
     """Serving layer (``repro.net``): the socket server front-end.
 
@@ -186,6 +208,7 @@ class ReproConfig:
     cluster: ClusterSection = field(default_factory=ClusterSection)
     perf: PerfConfig = field(default_factory=PerfConfig)
     net: NetSection = field(default_factory=NetSection)
+    parallel: ParallelSection = field(default_factory=ParallelSection)
     #: Evicted-redo organization (single-level/leveled/tiered) plus the
     #: background consolidation/scrub cadence and compaction throttle.
     consolidation: ConsolidationConfig = field(
@@ -224,6 +247,10 @@ class ReproConfig:
             raise ValueError("net.port must be in [1, 65535]")
         if self.net.max_frame_bytes < 0:
             raise ValueError("net.max_frame_bytes cannot be negative")
+        if self.parallel.workers < 1:
+            raise ValueError("parallel.workers must be at least 1")
+        if self.parallel.lookahead_us <= 0:
+            raise ValueError("parallel.lookahead_us must be positive")
         if self.perf.pool_kind not in ("process", "thread", "serial"):
             raise ValueError(
                 "perf.pool_kind must be 'process', 'thread', or 'serial'"

@@ -67,7 +67,7 @@ def scenario_config(shards: int = 4, seed: int = 0) -> ReproConfig:
 
 
 def build_skewed_runtime(
-    shards: int = 4, chunks: int = 16, seed: int = 0
+    shards: int = 4, chunks: int = 16, seed: int = 0, workers: int = 1
 ) -> Tuple[ClusterRuntime, Dict[Tuple[str, int], bytes]]:
     """Ingest the correlated-tenant layout; returns (runtime, expected).
 
@@ -75,8 +75,20 @@ def build_skewed_runtime(
     runtime's least-logically-loaded placement assigns chunks round-robin
     in shard order, so the compressible half of the stream stacks onto
     the first half of the fleet.
+
+    ``workers > 1`` hosts the replica groups in per-shard engine worker
+    processes (:class:`~repro.cluster.parallel.ParallelClusterRuntime`)
+    — byte-identical to serial, so the artifact never depends on it.
     """
-    runtime = ClusterRuntime(scenario_config(shards=shards, seed=seed))
+    config = scenario_config(shards=shards, seed=seed)
+    if workers > 1:
+        from repro.cluster.parallel import ParallelClusterRuntime
+
+        runtime: ClusterRuntime = ParallelClusterRuntime(
+            config, workers=workers
+        )
+    else:
+        runtime = ClusterRuntime(config)
     rng = random.Random(seed + 1)
     runtime.create_table("tenants")
     expected: Dict[Tuple[str, int], bytes] = {}
@@ -91,34 +103,33 @@ def build_skewed_runtime(
     return runtime, expected
 
 
-def run_fig10_11(
-    out_dir: Optional[str] = None,
+#: The two fleets the scenario compares, in artifact (and leg) order.
+SCHEDULER_LEGS = ("logical_only", "compression_aware")
+
+
+def run_scheduler_leg(
+    name: str,
     shards: int = 4,
     chunks: int = 16,
     seed: int = 0,
-    quiet: bool = False,
-) -> ExperimentResult:
-    """Run both schedulers over the skewed fleet; persist the artifact."""
-    result = ExperimentResult(
-        experiment="fig10_11_scheduling",
-        description="wasted space and live-migration traffic: "
-                    "logical-only vs compression-aware scheduling",
-        columns=(
-            "scheduler", "tasks", "moved_pages", "catchup_pages",
-            "moved_logical_mib", "moved_physical_mib", "makespan_ms",
-            "wasted_logical", "wasted_physical", "band_coverage",
-        ),
+    workers: int = 1,
+) -> Dict:
+    """One complete fleet: ingest, rebalance with ``name``'s scheduler,
+    verify, measure.  Returns the leg's artifact contribution as plain
+    data, so legs compose identically whether they run in-process or as
+    programs fanned across worker processes (the two fleets share no
+    simulated state — they are independent engine universes).
+    """
+    scheduler = (
+        LogicalOnlyScheduler() if name == "logical_only"
+        else CompressionAwareScheduler()
     )
-    occupancies: Dict[str, Dict[str, int]] = {}
-    for name, scheduler in (
-        ("logical_only", LogicalOnlyScheduler()),
-        ("compression_aware", CompressionAwareScheduler()),
-    ):
-        runtime, expected = build_skewed_runtime(
-            shards=shards, chunks=chunks, seed=seed
-        )
+    runtime, expected = build_skewed_runtime(
+        shards=shards, chunks=chunks, seed=seed, workers=workers
+    )
+    try:
         before = runtime.wasted_fractions()
-        occupancies[f"{name}/before"] = runtime.zone_occupancy()
+        occupancies = {f"{name}/before": runtime.zone_occupancy()}
         report = runtime.rebalance(scheduler)
         runtime.verify_readable(expected)
         after = runtime.wasted_fractions()
@@ -126,12 +137,13 @@ def run_fig10_11(
         abstract, _ = runtime.snapshot()
         aware = CompressionAwareScheduler()
         coverage = band_coverage(abstract, *aware.band(abstract))
-        if name == "logical_only":
-            result.note(
-                f"ingest leaves wasted_logical={before[0]:.3f} "
-                f"wasted_physical={before[1]:.3f} (both fleets identical)"
-            )
-        result.add(
+    finally:
+        runtime.close()
+    return {
+        "name": name,
+        "before": before,
+        "occupancies": occupancies,
+        "row": (
             name,
             len(report.tasks),
             report.moved_pages,
@@ -142,7 +154,59 @@ def run_fig10_11(
             round(after[0], 4),
             round(after[1], 4),
             round(coverage, 4),
-        )
+        ),
+    }
+
+
+def run_fig10_11(
+    out_dir: Optional[str] = None,
+    shards: int = 4,
+    chunks: int = 16,
+    seed: int = 0,
+    quiet: bool = False,
+    workers: int = 1,
+    leg_workers: int = 1,
+) -> ExperimentResult:
+    """Run both schedulers over the skewed fleet; persist the artifact.
+
+    Two parallelism axes, both byte-neutral to the artifact:
+    ``workers`` hosts each fleet's replica groups in per-shard engine
+    workers (fine-grained, epoch-barrier synchronized); ``leg_workers``
+    partitions the two independent fleets themselves across processes
+    (coarse-grained — what the perf harness's parallel leg measures).
+    """
+    result = ExperimentResult(
+        experiment="fig10_11_scheduling",
+        description="wasted space and live-migration traffic: "
+                    "logical-only vs compression-aware scheduling",
+        columns=(
+            "scheduler", "tasks", "moved_pages", "catchup_pages",
+            "moved_logical_mib", "moved_physical_mib", "makespan_ms",
+            "wasted_logical", "wasted_physical", "band_coverage",
+        ),
+    )
+    from repro.engine.parallel import ParallelEngineGroup
+
+    legs = ParallelEngineGroup.run_programs(
+        [
+            lambda name=name: run_scheduler_leg(
+                name, shards=shards, chunks=chunks, seed=seed,
+                workers=workers,
+            )
+            for name in SCHEDULER_LEGS
+        ],
+        workers=leg_workers,
+    )
+    occupancies: Dict[str, Dict[str, int]] = {}
+    for leg in legs:
+        if leg["name"] == "logical_only":
+            before = leg["before"]
+            result.note(
+                f"ingest leaves wasted_logical={before[0]:.3f} "
+                f"wasted_physical={before[1]:.3f} (both fleets identical)"
+            )
+        result.add(*leg["row"])
+        occupancies.update(leg["occupancies"])
     for label, zones in sorted(occupancies.items()):
         result.note(
             f"zones {label}: " + " ".join(

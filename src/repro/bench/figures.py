@@ -67,11 +67,16 @@ FIG12_CLUSTERS = {
 
 
 def run_fig12_quick(
-    out_dir: Optional[str] = None, quick: bool = True
+    out_dir: Optional[str] = None, quick: bool = True, workers: int = 1
 ) -> ExperimentResult:
     """Figure 12 smoke profile: every cluster, two workloads, trimmed
     transaction budgets.  16 concurrent clients per run queue on the
-    shared engine."""
+    shared engine.
+
+    Each cluster cell is an independent engine universe, so ``workers``
+    fans the cells across worker processes
+    (:meth:`~repro.engine.parallel.ParallelEngineGroup.run_programs`);
+    the assembled table is byte-identical at any worker count."""
     rows = 800 if quick else 3000
     budgets = (
         {"point_select": 60, "read_write": 12}
@@ -83,13 +88,15 @@ def run_fig12_quick(
         "quick sysbench cluster sweep (event-driven, 16 clients)",
         ["workload", "cluster", "tps", "avg_us", "p95_us"],
     )
-    for cluster, spec in FIG12_CLUSTERS.items():
+
+    def cluster_cell(cluster: str, spec: dict) -> list:
         store = PolarStore(
             spec["config"], data_spec=spec["data_spec"],
             perf_spec=spec["perf_spec"], volume_bytes=128 * MiB, seed=3,
         )
         db = PolarDB(store=store, buffer_pool_pages=10)
         now = prepare_table(db, rows=rows, seed=3)
+        cell_rows = []
         for workload, budget in budgets.items():
             run = run_sysbench(
                 db, workload, duration_s=30.0, threads=16,
@@ -97,22 +104,40 @@ def run_fig12_quick(
                 max_transactions=budget,
             )
             now += 40e6
-            result.add(
+            cell_rows.append((
                 WORKLOAD_LABELS[workload], cluster,
                 round(run.tps, 3),
                 round(run.avg_latency_us, 3),
                 round(run.p95_latency_us, 3),
-            )
+            ))
+        return cell_rows
+
+    from repro.engine.parallel import ParallelEngineGroup
+
+    cells = ParallelEngineGroup.run_programs(
+        [
+            lambda cluster=cluster, spec=spec: cluster_cell(cluster, spec)
+            for cluster, spec in FIG12_CLUSTERS.items()
+        ],
+        workers=workers,
+    )
+    for cell_rows in cells:
+        for row in cell_rows:
+            result.add(*row)
     print_table(result)
     save_result(result, out_dir)
     return result
 
 
 def run_fig15_quick(
-    out_dir: Optional[str] = None, quick: bool = True
+    out_dir: Optional[str] = None, quick: bool = True, workers: int = 1
 ) -> ExperimentResult:
     """Figure 15 smoke profile: lagging RO node, baseline vs per-page
-    log, at a low and a saturating thread count."""
+    log, at a low and a saturating thread count.
+
+    The baseline and per-page-log variants are independent universes;
+    ``workers`` runs them in parallel worker processes with byte-
+    identical output."""
     rows = 600 if quick else 1500
     sweep = (16, 128) if quick else (16, 32, 64, 128, 256)
     burst_txns = 150 if quick else 500
@@ -122,8 +147,8 @@ def run_fig15_quick(
         "quick RO-node P95 sweep, baseline vs per-page log",
         ["threads", "baseline_p95_us", "perpage_p95_us", "p95_reduction"],
     )
-    p95 = {}
-    for per_page_log in (False, True):
+
+    def variant_p95(per_page_log: bool) -> dict:
         config = NodeConfig(
             opt_per_page_log=per_page_log,
             opt_algorithm_selection=False,
@@ -136,6 +161,7 @@ def run_fig15_quick(
                    cpu_cores=2)
         )
         now = prepare_table(db, rows=rows, seed=9)
+        out = {}
         for threads in sweep:
             run_sysbench(
                 db, "update_non_index", duration_s=60.0, threads=16,
@@ -149,7 +175,23 @@ def run_fig15_quick(
                 max_transactions=read_txns, ro_index=0,
             )
             now += 70e6
-            p95[(per_page_log, threads)] = reads.p95_latency_us
+            out[threads] = reads.p95_latency_us
+        return out
+
+    from repro.engine.parallel import ParallelEngineGroup
+
+    variants = ParallelEngineGroup.run_programs(
+        [
+            lambda ppl=per_page_log: variant_p95(ppl)
+            for per_page_log in (False, True)
+        ],
+        workers=workers,
+    )
+    p95 = {
+        (per_page_log, threads): value
+        for per_page_log, variant in zip((False, True), variants)
+        for threads, value in variant.items()
+    }
     for threads in sweep:
         base = p95[(False, threads)]
         opt = p95[(True, threads)]

@@ -80,6 +80,28 @@ def decode_row_page(image: bytes) -> Tuple[int, bytes]:
     return key, image[_ROW_HEADER.size:_ROW_HEADER.size + length]
 
 
+def drop_page(store: PolarStore, page_no: int) -> None:
+    """Free one page on every live replica of a volume (TRIM the space;
+    the WAL records the removal so recovery agrees).  Module-level so the
+    parallel runtime's worker processes apply exactly the same mutation
+    to their locally-hosted stores."""
+    for i, node in enumerate(store.nodes):
+        if not store._alive[i]:
+            store._missed[i].discard(page_no)
+            continue
+        if node.index.get(page_no) is None:
+            continue
+        entry = node.index.remove(page_no)
+        node.wal.append_index_remove(page_no)
+        node._release_entry(entry)
+        node.page_cache.remove(page_no)
+        cached = node.redo_cache.pop(page_no, None)
+        if cached:
+            node._redo_cache_bytes -= sum(
+                r.size_bytes for r in cached
+            )
+
+
 class ChunkState(enum.Enum):
     SERVING = "serving"
     MIGRATING = "migrating"   # copy/catch-up in flight; writes journal
@@ -207,27 +229,9 @@ class ClusterRuntime:
         physical_capacity = int(
             store_cfg.volume_bytes * cluster_cfg.physical_fraction
         )
-        from repro.api.factory import build_store
-
-        self.shards: List[ShardServer] = [
-            ShardServer(
-                i,
-                build_store(self.config, seed_offset=1000 * i),
-                logical_capacity=store_cfg.volume_bytes,
-                physical_capacity=physical_capacity,
-            )
-            for i in range(cluster_cfg.shards)
-        ]
-        if self.config.engine.enabled:
-            for shard in self.shards:
-                shard.store.bind_engine(
-                    self.engine,
-                    group_commit_window_us=(
-                        self.config.engine.group_commit_window_us
-                    ),
-                    qd=self.config.engine.qd,
-                    defer_gc=self.config.engine.defer_gc,
-                )
+        self.shards: List[ShardServer] = self._build_shards(
+            cluster_cfg, store_cfg, physical_capacity
+        )
         self.tables: Dict[str, Dict[int, RuntimeChunk]] = {}
         self.chunks: Dict[int, RuntimeChunk] = {}
         self._next_chunk_id = 0
@@ -270,6 +274,77 @@ class ClusterRuntime:
         m.gauge_fn(
             "cluster.runtime.chunks", lambda: float(len(self.chunks))
         )
+
+    # ------------------------------------------------------------------ #
+    # Shard hosting (overridden by the parallel runtime)                   #
+    # ------------------------------------------------------------------ #
+
+    def _build_shards(
+        self, cluster_cfg, store_cfg, physical_capacity: int
+    ) -> List[ShardServer]:
+        """Build the replica groups this runtime hosts in-process.
+
+        ``repro.cluster.parallel`` overrides this (and the storage-call
+        seams below) to host the stores in worker processes behind
+        proxies; everything above the seams — routing, migration
+        daemons, scheduling — is shared verbatim, which is what makes
+        the byte-for-byte equivalence argument small.
+        """
+        from repro.api.factory import build_store
+
+        shards = [
+            ShardServer(
+                i,
+                build_store(self.config, seed_offset=1000 * i),
+                logical_capacity=store_cfg.volume_bytes,
+                physical_capacity=physical_capacity,
+            )
+            for i in range(cluster_cfg.shards)
+        ]
+        if self.config.engine.enabled:
+            for shard in shards:
+                shard.store.bind_engine(
+                    self.engine,
+                    group_commit_window_us=(
+                        self.config.engine.group_commit_window_us
+                    ),
+                    qd=self.config.engine.qd,
+                    defer_gc=self.config.engine.defer_gc,
+                )
+        return shards
+
+    def _commit_write(self, shard: ShardServer, page_no: int, image: bytes):
+        """Write one page on a shard's volume and wait out its commit.
+
+        The serial path issues the (synchronous, analytic) store call and
+        sleeps until the returned commit instant.  The parallel runtime
+        overrides this to issue the write to the shard's worker process
+        and yield a ``RemoteCall`` whose wakeup reuses the sequence
+        number reserved here — both paths resume at exactly
+        ``(commit_us, seq-at-issue)``.
+        """
+        engine = self.engine
+        committed = shard.store.write_page(engine.now_us, page_no, image)
+        if committed.commit_us > engine.now_us:
+            yield engine.sleep_until(committed.commit_us)
+        return committed
+
+    def _read_page(self, shard: ShardServer, page_no: int):
+        """Read one page from a shard's volume and wait out its latency."""
+        engine = self.engine
+        result = shard.store.read_page(engine.now_us, page_no)
+        if result.done_us > engine.now_us:
+            yield engine.sleep_until(result.done_us)
+        return result
+
+    def _checkpoint_shards(self, start_us: float) -> float:
+        """Checkpoint every shard at ``start_us``; returns the latest
+        completion.  Shard checkpoints touch disjoint state, so the
+        parallel runtime fans this out across workers."""
+        done = start_us
+        for shard in self.shards:
+            done = max(done, shard.store.checkpoint(start_us))
+        return done
 
     # ------------------------------------------------------------------ #
     # Routing                                                             #
@@ -417,9 +492,7 @@ class ClusterRuntime:
         page_no = chunk.rows.get(key)
         if page_no is None:
             return OpResult(engine.now_us, 0, 0, None)
-        result = self.owner(chunk).store.read_page(engine.now_us, page_no)
-        if result.done_us > engine.now_us:
-            yield engine.sleep_until(result.done_us)
+        result = yield from self._read_page(self.owner(chunk), page_no)
         _, value = decode_row_page(result.data)
         return OpResult(engine.now_us, result.io_reads, 0, value)
 
@@ -466,9 +539,7 @@ class ClusterRuntime:
         shard = self.owner(chunk)
         chunk.in_flight += 1
         try:
-            committed = shard.store.write_page(engine.now_us, page_no, image)
-            if committed.commit_us > engine.now_us:
-                yield engine.sleep_until(committed.commit_us)
+            committed = yield from self._commit_write(shard, page_no, image)
             chunk.rows[key] = page_no
             chunk.deleted.pop(key, None)
             if chunk.state in (ChunkState.MIGRATING, ChunkState.CUTOVER):
@@ -523,9 +594,7 @@ class ClusterRuntime:
 
     def checkpoint(self, now_us: float) -> float:
         self.engine.advance_to(now_us)
-        done = now_us
-        for shard in self.shards:
-            done = max(done, shard.store.checkpoint(self.engine.now_us))
+        done = max(now_us, self._checkpoint_shards(self.engine.now_us))
         self.engine.advance_to(done)
         return done
 
@@ -668,7 +737,6 @@ class ClusterRuntime:
         catchup: bool,
     ):
         """Copy the given keys' pages source -> target, real bytes."""
-        engine = self.engine
         copied = 0
         for key in keys:
             page_no = chunk.rows.get(key)
@@ -680,14 +748,10 @@ class ClusterRuntime:
                 if stale is not None:
                     self._drop_page(target.store, stale)
                 continue
-            read = source.store.read_page(engine.now_us, page_no)
-            if read.done_us > engine.now_us:
-                yield engine.sleep_until(read.done_us)
-            committed = target.store.write_page(
-                engine.now_us, page_no, read.data
+            read = yield from self._read_page(source, page_no)
+            committed = yield from self._commit_write(
+                target, page_no, read.data
             )
-            if committed.commit_us > engine.now_us:
-                yield engine.sleep_until(committed.commit_us)
             copied += 1
             self._mig_pages.inc()
             if catchup:
@@ -697,25 +761,11 @@ class ClusterRuntime:
             self._mig_physical.add(committed.prepared.device_bytes)
         return copied
 
-    @staticmethod
-    def _drop_page(store: PolarStore, page_no: int) -> None:
-        """Free one page on every live replica of a volume (TRIM the
-        space; the WAL records the removal so recovery agrees)."""
-        for i, node in enumerate(store.nodes):
-            if not store._alive[i]:
-                store._missed[i].discard(page_no)
-                continue
-            if node.index.get(page_no) is None:
-                continue
-            entry = node.index.remove(page_no)
-            node.wal.append_index_remove(page_no)
-            node._release_entry(entry)
-            node.page_cache.remove(page_no)
-            cached = node.redo_cache.pop(page_no, None)
-            if cached:
-                node._redo_cache_bytes -= sum(
-                    r.size_bytes for r in cached
-                )
+    def _drop_page(self, store: PolarStore, page_no: int) -> None:
+        """Free one page on every live replica of a volume.  An instance
+        method so the parallel runtime can route the drop to the worker
+        process hosting the store."""
+        drop_page(store, page_no)
 
     # ------------------------------------------------------------------ #
     # Scheduling bridge                                                   #
@@ -836,6 +886,19 @@ class ClusterRuntime:
             return 1.0
         return logical / physical
 
+    def store_metrics_states(self) -> Dict[int, List[Dict]]:
+        """Per-shard store-registry captures (``MetricsRegistry.state``),
+        keyed by shard id — the fleet-wide observability snapshot the
+        parallel golden tests compare against serial, shard by shard."""
+        return {
+            shard.shard_id: shard.store.metrics.state()
+            for shard in self.shards
+        }
+
+    def close(self) -> None:
+        """Release hosted resources.  The in-process runtime holds none;
+        the parallel runtime reaps its worker processes here."""
+
 
 __all__ = [
     "ChunkState",
@@ -844,5 +907,6 @@ __all__ = [
     "RuntimeChunk",
     "ShardServer",
     "decode_row_page",
+    "drop_page",
     "encode_row_page",
 ]

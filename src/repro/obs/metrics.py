@@ -268,20 +268,43 @@ class Histogram(Instrument):
         )
 
     def merged(self, other: "Histogram") -> "Histogram":
-        """A new histogram holding both distributions (associative)."""
-        if not self._compatible(other):
-            raise ValueError(
-                f"cannot merge {self.name}: bucket layouts differ"
-            )
-        out = Histogram(self.name, self.labels, self.growth,
-                        self.min_value, self.max_value)
-        out._counts = dict(self._counts)
-        for idx, count in other._counts.items():
-            out._counts[idx] = out._counts.get(idx, 0) + count
-        out._count = self._count + other._count
-        out._sum = self._sum + other._sum
-        out._min = min(self._min, other._min)
-        out._max = max(self._max, other._max)
+        """A new histogram holding both distributions (associative,
+        commutative): ``a.merged(b)`` and ``b.merged(a)`` export the same
+        bytes.  Bucket keys are folded in sorted order so the result's
+        count-dict iteration order never depends on which side recorded
+        first, and the sums are combined with :func:`math.fsum` (exactly
+        rounded) so float accumulation order cannot leak into exports.
+        """
+        return Histogram.merged_many([self, other])
+
+    @staticmethod
+    def merged_many(parts: Iterable["Histogram"]) -> "Histogram":
+        """Merge any number of compatible histograms, order-independently.
+
+        Parallel snapshot merges fold one histogram per worker; the fold
+        order (worker id, arrival order, ...) must never change the merged
+        bytes.  Counts are summed per sorted bucket key and the value sums
+        combined with ``math.fsum``, which returns the correctly rounded
+        float sum regardless of permutation.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merged_many needs at least one histogram")
+        first = parts[0]
+        for other in parts[1:]:
+            if not first._compatible(other):
+                raise ValueError(
+                    f"cannot merge {first.name}: bucket layouts differ"
+                )
+        out = Histogram(first.name, first.labels, first.growth,
+                        first.min_value, first.max_value)
+        keys = sorted({idx for part in parts for idx in part._counts})
+        for idx in keys:
+            out._counts[idx] = sum(p._counts.get(idx, 0) for p in parts)
+        out._count = sum(p._count for p in parts)
+        out._sum = math.fsum(p._sum for p in parts)
+        out._min = min(p._min for p in parts)
+        out._max = max(p._max for p in parts)
         return out
 
     def reset(self) -> None:
@@ -518,3 +541,125 @@ class MetricsRegistry:
     def snapshot(self) -> Dict:
         """The whole registry as a JSON-able dict."""
         return {"instruments": [i.describe() for i in self.instruments()]}
+
+    # -- cross-process merge -----------------------------------------------
+
+    def state(self) -> List[Dict]:
+        """Every instrument as a picklable, callback-free record.
+
+        The parallel engine ships these over the worker pipes: callback
+        gauges are sampled at capture time (deterministic given the
+        worker's simulated state), histograms carry their sparse bucket
+        counts, and records are emitted in sorted instrument order so the
+        stream itself is deterministic.
+        """
+        out: List[Dict] = []
+        for inst in self.instruments():
+            rec: Dict = {
+                "name": inst.name,
+                "labels": dict(inst.labels),
+                "kind": inst.kind,
+            }
+            if isinstance(inst, Counter):
+                rec["value"] = inst.value
+            elif isinstance(inst, Histogram):
+                rec.update(
+                    growth=inst.growth,
+                    min_value=inst.min_value,
+                    max_value=inst.max_value,
+                    counts={int(k): int(v) for k, v in inst._counts.items()},
+                    count=inst._count,
+                    sum=inst._sum,
+                    min=inst._min,
+                    max=inst._max,
+                )
+            elif isinstance(inst, Gauge):
+                rec["value"] = inst.value  # samples fn-backed gauges
+            else:
+                from repro.obs.timeseries import TimeSeries
+
+                if isinstance(inst, TimeSeries):
+                    rec.update(
+                        window_us=inst.window_us,
+                        windows={
+                            int(k): float(v)
+                            for k, v in inst._windows.items()
+                        },
+                        total=inst.total,
+                    )
+                else:  # pragma: no cover - no other kinds exist today
+                    rec["payload"] = inst.payload()
+            out.append(rec)
+        return out
+
+    def merge_state(self, records: Iterable[Dict]) -> None:
+        """Fold one :meth:`state` capture into this registry.
+
+        Folding captures one at a time rounds float sums once per fold;
+        use :meth:`merge_states` when combining several captures — it
+        folds each instrument with a *single* ``math.fsum`` pass, which
+        is what makes the merge exactly permutation-independent.
+        """
+        self.merge_states([records])
+
+    def merge_states(self, states: Iterable[Iterable[Dict]]) -> None:
+        """Fold any number of :meth:`state` captures, order-independently.
+
+        Records are grouped per instrument across every capture and each
+        group folds in one pass: counters and histogram/timeseries float
+        sums reduce with a single ``math.fsum`` (correctly rounded over
+        the whole multiset, so any permutation of the captures produces
+        bit-identical results), bucket/window counts add per sorted key,
+        and min/max fold.  Plain gauges take the group's last capture
+        (same-name gauges from disjoint shards carry disjoint labels, so
+        overwrite order never matters in practice); fn-backed local
+        gauges are left alone so they keep sampling live state.
+        """
+        grouped: Dict[tuple, List[Dict]] = {}
+        for state in states:
+            for rec in state:
+                key = (rec["name"], _label_key(dict(rec["labels"])),
+                       rec["kind"])
+                grouped.setdefault(key, []).append(rec)
+        for key in sorted(grouped, key=repr):
+            recs = grouped[key]
+            rec = recs[0]
+            labels = dict(rec["labels"])
+            kind = rec["kind"]
+            if kind == "counter":
+                self.counter(rec["name"], **labels).inc(
+                    math.fsum(r["value"] for r in recs)
+                )
+            elif kind == "histogram":
+                hist = self.histogram(
+                    rec["name"], growth=rec["growth"],
+                    min_value=rec["min_value"], **labels
+                )
+                for idx in sorted({i for r in recs for i in r["counts"]}):
+                    hist._counts[idx] = hist._counts.get(idx, 0) + sum(
+                        r["counts"].get(idx, 0) for r in recs
+                    )
+                hist._count += sum(r["count"] for r in recs)
+                hist._sum = math.fsum(
+                    [hist._sum] + [r["sum"] for r in recs]
+                )
+                hist._min = min([hist._min] + [r["min"] for r in recs])
+                hist._max = max([hist._max] + [r["max"] for r in recs])
+            elif kind == "gauge":
+                gauge = self.gauge(rec["name"], **labels)
+                if gauge._fn is None:
+                    gauge.set(recs[-1]["value"])
+            elif kind == "timeseries":
+                series = self.timeseries(
+                    rec["name"], window_us=rec["window_us"], **labels
+                )
+                for idx in sorted({i for r in recs for i in r["windows"]}):
+                    series._windows[idx] = math.fsum(
+                        [series._windows.get(idx, 0.0)]
+                        + [r["windows"].get(idx, 0.0) for r in recs]
+                    )
+                series.total = math.fsum(
+                    [series.total] + [r["total"] for r in recs]
+                )
+            else:  # pragma: no cover - no other kinds exist today
+                raise ValueError(f"cannot merge instrument kind {kind!r}")

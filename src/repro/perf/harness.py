@@ -1,13 +1,14 @@
-"""Wall-clock perf harness: pinned scenarios, serial vs fast-path A/B.
+"""Wall-clock perf harness: pinned scenarios, serial/fast/parallel A/B/C.
 
 Everything the simulator *reports* is simulated time; this module is the
 one place that measures **wall-clock** time (``time.perf_counter``).
 Each scenario runs twice in-process — once with the perf runtime
-deactivated (serial reference) and once with it configured — and the
-harness asserts the two runs are *equivalent*: identical output bytes,
-identical simulated timings, identical metric streams.  The fast path
-is only allowed to change how long the host takes to compute the same
-answer.
+deactivated (serial reference) and once with it configured — and, with
+``--workers N``, a third time across forked engine workers
+(``repro.engine.parallel``).  The harness asserts all runs are
+*equivalent*: identical output bytes, identical simulated timings,
+identical metric streams.  The fast path and the worker fleet are only
+allowed to change how long the host takes to compute the same answer.
 
 Equivalence is checked with a scenario *fingerprint*: a SHA-256 over the
 scenario's own outputs (transaction counts, simulated latencies, chaos
@@ -34,9 +35,11 @@ import resource
 import sys
 import tempfile
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.engine.parallel import ParallelEngineGroup, workers_from_env
 from repro.obs import events as obs_events
 from repro.obs.slo import InvariantSLO, SLOEvaluator, ThresholdSLO
 from repro.perf.pool import default_workers
@@ -48,6 +51,18 @@ DEFAULT_REPORT = "BENCH_wallclock.json"
 #: ``--check`` fails when a scenario's speedup drops below
 #: ``baseline * (1 - REGRESSION_TOLERANCE)``.
 REGRESSION_TOLERANCE = 0.30
+
+#: ``--check`` floor for the parallel leg's speedup on the scenarios in
+#: :data:`PARALLEL_GATED_SCENARIOS`, applied only when the fresh run had
+#: ``workers >= 2`` *and* the host actually has 2+ cores — on a 1-core
+#: runner the honest measurement is ~1.0x and the gate would only test
+#: the scheduler, not the code.
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
+#: Scenarios whose parallel leg contains genuinely partitionable work
+#: (independent engine universes), so wall-clock speedup is gated, not
+#: just byte-identity.
+PARALLEL_GATED_SCENARIOS = ("cluster_ingest",)
 
 
 @dataclass
@@ -91,13 +106,30 @@ def _page_ops(registry) -> int:
 # ---------------------------------------------------------------------------
 
 
-def scenario_sysbench8(quick: bool = False) -> ScenarioRun:
+def _offload(fn: Callable[[], ScenarioRun]) -> ScenarioRun:
+    """Run a single-universe scenario in one forked engine worker.
+
+    A scenario with one engine heap cannot be partitioned below engine
+    granularity, so its parallel leg occupies one worker of the fleet.
+    The leg still proves what matters: the fork/pipe transport and the
+    worker-side execution reproduce the serial fingerprint byte for
+    byte (the child inherits the parent's rewound node counter and
+    deactivated perf/recorder state across the fork).
+    """
+    with ParallelEngineGroup(1, lambda wid: (lambda op, payload: fn())) as group:
+        group.workers[0].request("run")
+        return group.workers[0].next_reply()
+
+
+def scenario_sysbench8(quick: bool = False, workers: int = 1) -> ScenarioRun:
     """8-client sysbench read_write on one replicated volume.
 
     The headline scenario: the bulk load's checkpoint consolidates every
     dirty page on all three replicas with identical page images, which
     is exactly the duplicate work the codec memo collapses.
     """
+    if workers > 1:
+        return _offload(lambda: scenario_sysbench8(quick))
     from repro.api import ReproConfig, build_db
     from repro.workloads.sysbench import prepare_table, run_sysbench
 
@@ -157,7 +189,7 @@ def scenario_sysbench8(quick: bool = False) -> ScenarioRun:
     )
 
 
-def scenario_chaos_smoke(quick: bool = False) -> ScenarioRun:
+def scenario_chaos_smoke(quick: bool = False, workers: int = 1) -> ScenarioRun:
     """Seeded fault-injection smoke: corruption must not perturb results.
 
     Exercises the memo's verified-only discipline end to end — bit
@@ -165,6 +197,8 @@ def scenario_chaos_smoke(quick: bool = False) -> ScenarioRun:
     the memo serves, and the rendered invariant report must match the
     serial run byte for byte.
     """
+    if workers > 1:
+        return _offload(lambda: scenario_chaos_smoke(quick))
     from repro.chaos.harness import run_chaos
 
     ops = 80 if quick else 160
@@ -193,10 +227,16 @@ def scenario_chaos_smoke(quick: bool = False) -> ScenarioRun:
     )
 
 
-def scenario_cluster_ingest(quick: bool = False) -> ScenarioRun:
+def scenario_cluster_ingest(
+    quick: bool = False, workers: int = 1
+) -> ScenarioRun:
     """Skewed-ingest + live migration on the sharded runtime (Fig 10/11
     shape, smaller fleet): cross-volume duplicate page images during
-    migration catch-up are the memo's cluster-level win."""
+    migration catch-up are the memo's cluster-level win.
+
+    ``workers > 1`` fans the two independent scheduler-leg fleets across
+    worker processes (``leg_workers``) — the partitionable half of the
+    scenario, and the one whose parallel speedup the harness gates."""
     from repro.bench.cluster_fig import run_fig10_11
 
     shards = 2 if quick else 3
@@ -208,6 +248,7 @@ def scenario_cluster_ingest(quick: bool = False) -> ScenarioRun:
             chunks=chunks,
             seed=0,
             quiet=True,
+            leg_workers=workers,
         )
     blob = json.dumps(result.to_dict(), sort_keys=True, default=repr)
     rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
@@ -223,7 +264,7 @@ def scenario_cluster_ingest(quick: bool = False) -> ScenarioRun:
     )
 
 
-SCENARIOS: Dict[str, Callable[[bool], ScenarioRun]] = {
+SCENARIOS: Dict[str, Callable[..., ScenarioRun]] = {
     "sysbench8": scenario_sysbench8,
     "chaos_smoke": scenario_chaos_smoke,
     "cluster_ingest": scenario_cluster_ingest,
@@ -231,14 +272,17 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioRun]] = {
 
 
 # ---------------------------------------------------------------------------
-# A/B driver
+# A/B/C driver
 # ---------------------------------------------------------------------------
 
 
-def _timed(fn: Callable[[bool], ScenarioRun], quick: bool) -> ScenarioRun:
-    # Rewind the process-global node-name counter so both runs of a
-    # scenario build "node-0/1/2..." — metric labels must line up for
-    # the fingerprints to be comparable.
+def _timed(
+    fn: Callable[..., ScenarioRun], quick: bool, workers: int = 1
+) -> ScenarioRun:
+    # Rewind the process-global node-name counter so every run of a
+    # scenario builds "node-0/1/2..." — metric labels must line up for
+    # the fingerprints to be comparable.  The reset happens before any
+    # fork, so worker children inherit the rewound counter too.
     import itertools
 
     from repro.storage import store as store_mod
@@ -246,7 +290,7 @@ def _timed(fn: Callable[[bool], ScenarioRun], quick: bool) -> ScenarioRun:
     store_mod._node_counter = itertools.count()
     gc.collect()
     start = time.perf_counter()
-    run = fn(quick)
+    run = fn(quick, workers=workers) if workers > 1 else fn(quick)
     run.wall_s = time.perf_counter() - start
     return run
 
@@ -263,12 +307,22 @@ def run_harness(
     quick: bool = False,
     perf_spec: Optional[Dict[str, object]] = None,
     verbose: bool = True,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Run each scenario serial-then-fast and build the scoreboard.
+    """Run each scenario serial/fast (and parallel); build the scoreboard.
 
     ``perf_spec`` overrides the fast-path shape (keys: ``pool_workers``,
     ``pool_kind``, ``memo_capacity_bytes``); the default is a process
-    pool sized to the host plus a 64 MiB memo.
+    pool sized to the host plus a 64 MiB memo.  ``workers >= 2`` adds the
+    third leg: the scenario re-runs across forked engine workers
+    (``repro.engine.parallel``) with the perf runtime off, and its
+    fingerprint must equal the serial reference byte for byte.  The
+    default comes from ``REPRO_WORKERS`` (unset → no parallel leg).
+
+    A scenario that raises does not abort the harness: the failure is
+    contained to its scoreboard row (``"error"`` key, ``identical:
+    False``) and the remaining scenarios still run, so one broken
+    scenario reports alongside — not instead of — the others.
     """
     names = scenario_names or list(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
@@ -276,6 +330,9 @@ def run_harness(
         raise KeyError(
             f"unknown scenario(s) {unknown}; options: {sorted(SCENARIOS)}"
         )
+    if workers is None:
+        workers = workers_from_env() or 1
+    workers = max(1, int(workers))
     spec = {
         "pool_workers": default_workers(),
         "pool_kind": "process",
@@ -288,46 +345,75 @@ def run_harness(
             print(msg, file=sys.stderr)
 
     scoreboard: Dict[str, object] = {
-        "version": 1,
+        "version": 2,
         "quick": quick,
         "cpu_count": os.cpu_count(),
+        "workers": workers,
         "perf_spec": dict(spec),
         "scenarios": {},
     }
     total_saved = 0.0
     for name in names:
         fn = SCENARIOS[name]
-        say(f"[{name}] serial reference ...")
-        deactivate()
-        serial = _timed(fn, quick)
-        say(f"[{name}] serial: {serial.wall_s:.3f}s wall, "
-            f"{serial.pages} page ops")
-        runtime = PerfRuntime(**spec)
-        configure(runtime)
-        # The fast leg runs with the flight recorder ACTIVE while the
-        # serial leg ran with it off.  The fingerprints must still match:
-        # that equality is the standing proof that observability is
-        # sim-time- and byte-neutral (recorder state never enters the
-        # metrics digest — its bookkeeping is plain attributes, not
-        # registry instruments).
-        recorder = obs_events.activate(
-            obs_events.FlightRecorder(capacity=16384)
-        )
         try:
-            say(f"[{name}] fast path ({spec['pool_kind']} pool, "
-                f"{spec['pool_workers']} workers) ...")
-            fast = _timed(fn, quick)
-            stats = runtime.stats()
-        finally:
+            say(f"[{name}] serial reference ...")
+            deactivate()
+            serial = _timed(fn, quick)
+            say(f"[{name}] serial: {serial.wall_s:.3f}s wall, "
+                f"{serial.pages} page ops")
+            runtime = PerfRuntime(**spec)
+            configure(runtime)
+            # The fast leg runs with the flight recorder ACTIVE while the
+            # serial leg ran with it off.  The fingerprints must still
+            # match: that equality is the standing proof that
+            # observability is sim-time- and byte-neutral (recorder state
+            # never enters the metrics digest — its bookkeeping is plain
+            # attributes, not registry instruments).
+            recorder = obs_events.activate(
+                obs_events.FlightRecorder(capacity=16384)
+            )
+            try:
+                say(f"[{name}] fast path ({spec['pool_kind']} pool, "
+                    f"{spec['pool_workers']} workers) ...")
+                fast = _timed(fn, quick)
+                stats = runtime.stats()
+            finally:
+                deactivate()
+                obs_events.deactivate()
+            parallel_block: Optional[Dict[str, object]] = None
+            if workers > 1:
+                # Third leg: forked engine workers, perf runtime off —
+                # the same serial universe, computed elsewhere.
+                say(f"[{name}] parallel ({workers} engine workers) ...")
+                par = _timed(fn, quick, workers=workers)
+                p_identical = par.fingerprint == serial.fingerprint
+                p_speedup = (
+                    serial.wall_s / par.wall_s if par.wall_s > 0 else 0.0
+                )
+                say(f"[{name}] parallel: {par.wall_s:.3f}s wall "
+                    f"({p_speedup:.2f}x), identical={p_identical}")
+                parallel_block = {
+                    "identical": p_identical,
+                    "wall_s": round(par.wall_s, 4),
+                    "speedup": round(p_speedup, 3),
+                }
+        except Exception:
+            tb = traceback.format_exc()
             deactivate()
             obs_events.deactivate()
+            say(f"[{name}] ERROR:\n{tb}")
+            scoreboard["scenarios"][name] = {
+                "identical": False,
+                "error": tb.strip().splitlines()[-1],
+            }
+            continue
         identical = fast.fingerprint == serial.fingerprint
         speedup = serial.wall_s / fast.wall_s if fast.wall_s > 0 else 0.0
         total_saved += stats.get("codec_calls_saved", 0)
         say(f"[{name}] fast  : {fast.wall_s:.3f}s wall "
             f"({speedup:.2f}x), identical={identical}, memo hit rate "
-            f"{stats.get('memo', {}).get('hit_rate', 0.0):.3f}")
-        scoreboard["scenarios"][name] = {
+            f"{(stats.get('memo') or {}).get('hit_rate', 0.0):.3f}")
+        row: Dict[str, object] = {
             "identical": identical,
             "serial_wall_s": round(serial.wall_s, 4),
             "perf_wall_s": round(fast.wall_s, 4),
@@ -342,8 +428,12 @@ def run_harness(
             "memo": stats.get("memo"),
             "pool": stats.get("pool"),
             "events_recorded": recorder.total_emitted,
+            "workers": workers,
             "detail": serial.detail,
         }
+        if parallel_block is not None:
+            row["parallel"] = parallel_block
+        scoreboard["scenarios"][name] = row
     scoreboard["codec_calls_saved_total"] = total_saved
     scoreboard["peak_rss_bytes"] = _peak_rss_bytes()
     return scoreboard
@@ -365,7 +455,11 @@ def check_regression(
 
     The gate is on *speedup* (fast vs serial on the same host in the
     same process), which normalizes away absolute machine speed; raw
-    pages/sec are reported for humans but not gated.
+    pages/sec are reported for humans but not gated.  When the fresh
+    run carried a parallel leg, its byte-identity is an invariant and —
+    for :data:`PARALLEL_GATED_SCENARIOS` on a multi-core host — its
+    speedup must clear :data:`PARALLEL_SPEEDUP_FLOOR`.  A scenario that
+    raised is itself a violation, reported alongside the rest.
 
     Every pass/fail decision is expressed as an SLO spec and routed
     through :class:`repro.obs.slo.SLOEvaluator` — the same evaluator
@@ -375,7 +469,39 @@ def check_regression(
     evaluator = SLOEvaluator()
     base_scenarios = baseline.get("scenarios", {})
     fresh_scenarios = scoreboard.get("scenarios", {})
+    cpu_count = int(scoreboard.get("cpu_count") or 1)
     for name, fresh in fresh_scenarios.items():
+        if "error" in fresh:
+            evaluator.add(InvariantSLO(
+                f"perf.{name}.completed",
+                lambda name=name, err=fresh["error"]: [
+                    f"{name}: scenario raised: {err}"
+                ],
+                description="scenario runs to completion",
+            ))
+            continue
+        parallel = fresh.get("parallel")
+        if parallel is not None:
+            if not parallel["identical"]:
+                evaluator.add(InvariantSLO(
+                    f"perf.{name}.parallel_identical",
+                    lambda name=name: [
+                        f"{name}: parallel-leg output DIVERGED "
+                        f"from serial reference"
+                    ],
+                    description="parallel fingerprint equals serial",
+                ))
+            elif name in PARALLEL_GATED_SCENARIOS and cpu_count >= 2:
+                evaluator.add(ThresholdSLO(
+                    f"perf.{name}.parallel_speedup",
+                    lambda parallel=parallel: float(parallel["speedup"]),
+                    floor=PARALLEL_SPEEDUP_FLOOR,
+                    message=lambda v, name=name: (
+                        f"{name}: parallel speedup {v:.2f}x below the "
+                        f"{PARALLEL_SPEEDUP_FLOOR:.1f}x floor on a "
+                        f"{cpu_count}-core host"
+                    ),
+                ))
         if not fresh["identical"]:
             evaluator.add(InvariantSLO(
                 f"perf.{name}.identical",
@@ -444,6 +570,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--pool-kind", choices=("process", "thread", "serial"),
         default=None, help="override pool kind (default: process)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run a third leg across N forked engine workers and require "
+             "its fingerprint to equal serial (default: $REPRO_WORKERS, "
+             "else no parallel leg)",
+    )
     args = parser.parse_args(argv)
 
     spec: Dict[str, object] = {}
@@ -455,11 +587,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario_names=args.scenario,
         quick=args.quick,
         perf_spec=spec or None,
+        workers=args.workers,
     )
     diverged = [
         name
         for name, row in scoreboard["scenarios"].items()
-        if not row["identical"]
+        if "error" in row
+        or not row["identical"]
+        or not row.get("parallel", {"identical": True})["identical"]
     ]
     if args.check is not None:
         with open(args.check) as handle:

@@ -84,7 +84,7 @@ def test_sections_are_plain_dataclasses():
     config = ReproConfig()
     doc = config.to_dict()
     assert set(doc) == {"store", "device", "engine", "db", "cluster",
-                        "perf", "net", "consolidation"}
+                        "perf", "net", "consolidation", "parallel"}
     # Every leaf is JSON-able (asdict flattened the NodeConfig too).
     assert isinstance(doc["store"]["node"], dict)
 

@@ -1,0 +1,219 @@
+"""The parallel engine layer: program fan-out, conservative epoch
+synchronization, and the deterministic observability merges."""
+
+import pytest
+
+from repro.engine.core import EngineError, Timeout
+from repro.engine.parallel import (
+    ParallelEngine,
+    ParallelEngineGroup,
+    ParallelError,
+    merge_event_streams,
+    merge_metrics_states,
+    workers_from_env,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+# -- REPRO_WORKERS ----------------------------------------------------------
+
+def test_workers_from_env_unset_and_set():
+    assert workers_from_env(env={}) is None
+    assert workers_from_env(env={"REPRO_WORKERS": ""}) is None
+    assert workers_from_env(env={"REPRO_WORKERS": " 4 "}) == 4
+
+
+def test_workers_from_env_rejects_garbage():
+    with pytest.raises(ValueError, match="integer"):
+        workers_from_env(env={"REPRO_WORKERS": "many"})
+    with pytest.raises(ValueError, match=">= 1"):
+        workers_from_env(env={"REPRO_WORKERS": "0"})
+
+
+# -- program fan-out --------------------------------------------------------
+
+def test_run_programs_matches_inline_at_any_worker_count():
+    programs = [lambda i=i: {"index": i, "value": i * i} for i in range(7)]
+    inline = ParallelEngineGroup.run_programs(programs, workers=1)
+    for workers in (2, 3, 7):
+        assert ParallelEngineGroup.run_programs(
+            programs, workers=workers
+        ) == inline
+
+
+def test_run_programs_results_are_indexed_not_completion_ordered():
+    # Program 0 does far more work than the rest; its slot must still be
+    # slot 0 even though other workers finish first.
+    def heavy():
+        total = 0
+        for i in range(200_000):
+            total += i
+        return ("heavy", total)
+
+    programs = [heavy] + [lambda i=i: ("light", i) for i in range(1, 5)]
+    results = ParallelEngineGroup.run_programs(programs, workers=4)
+    assert results[0][0] == "heavy"
+    assert [r[1] for r in results[1:]] == [1, 2, 3, 4]
+
+
+def test_run_programs_propagates_worker_tracebacks():
+    def boom():
+        raise ValueError("deliberate-worker-failure")
+
+    with pytest.raises(ParallelError, match="deliberate-worker-failure"):
+        ParallelEngineGroup.run_programs(
+            [lambda: 1, boom], workers=2
+        )
+
+
+def test_run_programs_setup_seeds_each_worker():
+    import tests.engine.test_parallel as mod
+
+    def setup(worker_id):
+        mod._WORKER_TAG = worker_id
+
+    def read_tag():
+        return mod._WORKER_TAG
+
+    # Round-robin: programs 0,2 land on worker 0; 1,3 on worker 1.
+    results = ParallelEngineGroup.run_programs(
+        [read_tag] * 4, workers=2, setup=setup
+    )
+    assert results == [0, 1, 0, 1]
+
+
+# -- conservative epoch synchronization -------------------------------------
+
+def _pump_delivering(engine, pending, completions):
+    """A reply pump that resolves the oldest call when blocked."""
+
+    def pump(block):
+        if block and pending:
+            call = pending.pop(0)
+            engine.deliver(call, completions[call.label])
+
+    return pump
+
+
+def test_events_inside_lookahead_run_before_the_reply():
+    engine = ParallelEngine()
+    log = []
+    pending = []
+    engine.reply_pump = _pump_delivering(
+        engine, pending, {"w": {"t": 10.0, "value": 42}}
+    )
+
+    def remote_proc():
+        call = engine.remote(10.0, lambda v: v["t"], label="w")
+        pending.append(call)
+        value = yield call
+        log.append(("reply", engine.now_us, value["value"]))
+
+    def ticker():
+        yield Timeout(5.0)
+        log.append(("tick", engine.now_us))
+        yield Timeout(10.0)
+        log.append(("tick", engine.now_us))
+
+    engine.spawn(remote_proc())
+    engine.spawn(ticker())
+    engine.run_until_idle()
+    # t=5 is inside the lookahead window: it dispatches while the call
+    # is in flight.  t=15 is past the horizon: it must wait for the
+    # reply (which lands at exactly t=10).
+    assert log == [("tick", 5.0), ("reply", 10.0, 42), ("tick", 15.0)]
+    assert engine.stalls >= 1
+    assert engine.outstanding == 0
+
+
+def test_reply_tie_at_horizon_uses_the_reserved_seq():
+    # A completion at t=10 ties with a timer at t=10.  The completion's
+    # sequence number was reserved at issue time (earlier), so serial
+    # order — completion first — must be reproduced.
+    engine = ParallelEngine()
+    log = []
+    pending = []
+    engine.reply_pump = _pump_delivering(
+        engine, pending, {"w": {"t": 10.0}}
+    )
+
+    def remote_proc():
+        call = engine.remote(10.0, lambda v: v["t"], label="w")
+        pending.append(call)
+        yield call
+        log.append("reply")
+
+    def ticker():
+        yield Timeout(10.0)
+        log.append("tick")
+
+    engine.spawn(remote_proc())
+    engine.spawn(ticker())
+    engine.run_until_idle()
+    assert log == ["reply", "tick"]
+
+
+def test_lookahead_certificate_violation_raises():
+    engine = ParallelEngine()
+    pending = []
+    engine.reply_pump = _pump_delivering(
+        engine, pending, {"w": {"t": 3.0}}  # < issue(0) + lookahead(10)
+    )
+
+    def remote_proc():
+        call = engine.remote(10.0, lambda v: v["t"], label="w")
+        pending.append(call)
+        yield call
+
+    engine.spawn(remote_proc())
+    with pytest.raises(EngineError, match="lookahead certificate"):
+        engine.run_until_idle()
+
+
+def test_outstanding_call_without_pump_raises():
+    engine = ParallelEngine()
+
+    def remote_proc():
+        yield engine.remote(10.0, lambda v: v)
+
+    engine.spawn(remote_proc())
+    with pytest.raises(EngineError, match="no reply pump"):
+        engine.run_until_idle()
+
+
+def test_negative_lookahead_rejected():
+    engine = ParallelEngine()
+    with pytest.raises(EngineError, match="negative"):
+        engine.remote(-1.0, lambda v: v)
+
+
+# -- deterministic merges ---------------------------------------------------
+
+class _Ev:
+    def __init__(self, t_us, tag):
+        self.t_us = t_us
+        self.tag = tag
+
+
+def test_merge_event_streams_orders_by_time_then_worker_then_pos():
+    w0 = [_Ev(1.0, "a"), _Ev(5.0, "b"), _Ev(5.0, "c")]
+    w1 = [_Ev(0.5, "d"), _Ev(5.0, "e")]
+    merged = merge_event_streams([w0, w1])
+    assert [e.tag for e in merged] == ["d", "a", "b", "c", "e"]
+
+
+def test_merge_metrics_states_is_permutation_independent():
+    def worker_state(seed):
+        reg = MetricsRegistry()
+        reg.counter("ops", shard=seed).inc(seed + 1)
+        hist = reg.histogram("lat_us")
+        for i in range(20):
+            hist.record(0.1 + ((seed * 7 + i * 13) % 50) / 3.0)
+        return reg.state()
+
+    states = [worker_state(s) for s in range(4)]
+    merged_a = MetricsRegistry()
+    merge_metrics_states(merged_a, states)
+    merged_b = MetricsRegistry()
+    merge_metrics_states(merged_b, list(reversed(states)))
+    assert merged_a.snapshot() == merged_b.snapshot()

@@ -1,0 +1,99 @@
+"""The perf harness's third leg (parallel workers), its error
+containment, and the parallel regression gates."""
+
+import pytest
+
+from repro.perf import harness as ph
+from repro.perf.harness import (
+    PARALLEL_SPEEDUP_FLOOR,
+    ScenarioRun,
+    check_regression,
+    run_harness,
+)
+
+
+def _fake_scenario(fingerprint="fp-ok"):
+    def fn(quick=False, workers=1):
+        return ScenarioRun(
+            fingerprint=fingerprint, pages=3, sim_us=10.0, wall_s=0.0,
+            detail={"workers": workers},
+        )
+
+    return fn
+
+
+def _boom_scenario(quick=False, workers=1):
+    raise RuntimeError("scenario-blew-up")
+
+
+@pytest.fixture
+def fake_scenarios(monkeypatch):
+    monkeypatch.setitem(ph.SCENARIOS, "ok", _fake_scenario())
+    monkeypatch.setitem(ph.SCENARIOS, "boom", _boom_scenario)
+    yield
+
+
+def test_failing_scenario_does_not_stop_the_rest(fake_scenarios):
+    # 'boom' comes first; 'ok' must still run and report (the old
+    # driver aborted the loop at the first raise, so a single broken
+    # scenario hid every later result).
+    scoreboard = run_harness(["boom", "ok"], verbose=False)
+    assert set(scoreboard["scenarios"]) == {"boom", "ok"}
+    boom = scoreboard["scenarios"]["boom"]
+    assert boom["identical"] is False
+    assert "scenario-blew-up" in boom["error"]
+    assert scoreboard["scenarios"]["ok"]["identical"] is True
+
+
+def test_errored_scenario_is_a_check_violation(fake_scenarios):
+    scoreboard = run_harness(["boom", "ok"], verbose=False)
+    failures = check_regression(scoreboard, {"scenarios": {}})
+    assert any("scenario raised" in f for f in failures)
+    assert all("ok" != f.split(":")[0] for f in failures)
+
+
+def test_parallel_leg_runs_and_reports(fake_scenarios):
+    scoreboard = run_harness(["ok"], verbose=False, workers=2)
+    row = scoreboard["scenarios"]["ok"]
+    assert row["workers"] == 2
+    assert row["parallel"]["identical"] is True
+    assert scoreboard["workers"] == 2
+
+
+def _board(cpu_count, parallel):
+    return {
+        "cpu_count": cpu_count,
+        "scenarios": {
+            "cluster_ingest": {
+                "identical": True,
+                "speedup": 2.0,
+                "parallel": parallel,
+            },
+        },
+    }
+
+
+def test_parallel_divergence_is_always_a_violation():
+    board = _board(1, {"identical": False, "speedup": 3.0})
+    failures = check_regression(board, {"scenarios": {}})
+    assert any("parallel-leg output DIVERGED" in f for f in failures)
+
+
+def test_parallel_speedup_gate_needs_two_cores():
+    slow = {"identical": True, "speedup": 1.01}
+    # 1-core host: honest ~1x speedup is not a regression.
+    assert not check_regression(_board(1, slow), {"scenarios": {}})
+    # 2-core host: the floor applies.
+    failures = check_regression(_board(2, slow), {"scenarios": {}})
+    assert any("parallel speedup" in f for f in failures)
+    fast = {"identical": True, "speedup": PARALLEL_SPEEDUP_FLOOR + 0.1}
+    assert not check_regression(_board(2, fast), {"scenarios": {}})
+
+
+def test_real_parallel_leg_is_byte_identical_quick():
+    scoreboard = run_harness(
+        ["cluster_ingest"], quick=True, verbose=False, workers=2
+    )
+    row = scoreboard["scenarios"]["cluster_ingest"]
+    assert row["identical"] is True
+    assert row["parallel"]["identical"] is True
